@@ -1,0 +1,84 @@
+// Command planviz lowers a bundled DSL program and prints its execution
+// plan — either a human-readable summary or the full JSON the DSL Executor
+// interprets.
+//
+// Usage:
+//
+//	planviz -program 1pa|2pahb|ringrs -ranks 8 -size 65536 [-tb 2] [-json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mscclpp/internal/dsl"
+	"mscclpp/internal/plan"
+)
+
+func main() {
+	program := flag.String("program", "1pa", "1pa|2pahb|ringrs")
+	ranks := flag.Int("ranks", 8, "number of ranks")
+	size := flag.Int64("size", 64<<10, "buffer size in bytes")
+	tb := flag.Int("tb", 2, "thread blocks per rank (1pa/2pahb)")
+	asJSON := flag.Bool("json", false, "dump full JSON plan")
+	flag.Parse()
+
+	var prog *dsl.Program
+	var err error
+	switch *program {
+	case "1pa":
+		prog, err = dsl.BuildAllReduce1PA(*ranks, *size, *tb)
+	case "2pahb":
+		prog, err = dsl.BuildAllReduce2PAHB(*ranks, *size, *tb)
+	case "ringrs":
+		prog, err = dsl.BuildRingReduceScatter(*ranks, *size)
+	default:
+		log.Fatalf("unknown program %q", *program)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	pl, err := prog.Lower()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		data, err := pl.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	fmt.Printf("plan %q (%s): %d ranks x %d TBs, in=%dB out=%dB\n",
+		pl.Name, pl.Collective, pl.Ranks, pl.NumTB, pl.InSize, pl.OutSize)
+	fmt.Printf("channels: %d, scratch buffers: %d, total ops: %d\n",
+		len(pl.Channels), len(pl.Scratch), pl.OpCount())
+	hist := map[plan.OpCode]int{}
+	for _, tbs := range pl.Programs {
+		for _, ops := range tbs {
+			for _, op := range ops {
+				hist[op.Code]++
+			}
+		}
+	}
+	fmt.Println("op histogram:")
+	for _, code := range []plan.OpCode{plan.OpPut, plan.OpPutWithSignal, plan.OpPutPackets,
+		plan.OpReducePut, plan.OpSignal, plan.OpWait, plan.OpFlush, plan.OpAwaitPackets,
+		plan.OpChanReduce, plan.OpLocalCopy, plan.OpLocalReduce, plan.OpTBSync,
+		plan.OpGridBarrier, plan.OpSwitchReduce, plan.OpSwitchBcast} {
+		if n := hist[code]; n > 0 {
+			fmt.Printf("  %-18s %d\n", code, n)
+		}
+	}
+	fmt.Println("\nrank 0, thread block 0:")
+	for i, op := range pl.Programs[0][0] {
+		fmt.Printf("  %3d: %-16s ch=%-3d dst=[%s+%d,%d] src=[%s+%d,%d] flag=%d\n",
+			i, op.Code, op.Channel,
+			op.Dst.Buf.Kind, op.Dst.Off, op.Dst.Size,
+			op.Src.Buf.Kind, op.Src.Off, op.Src.Size, op.Flag)
+	}
+}

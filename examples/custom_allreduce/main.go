@@ -1,0 +1,88 @@
+// Custom AllReduce: author a collective communication algorithm in the
+// MSCCL++ DSL (a one-phase all-pairs exchange written from scratch against
+// the global view), lower it — the compiler inserts synchronization and
+// fuses operations — and run it with the DSL Executor, verifying the result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mscclpp"
+)
+
+const (
+	ranks = 8
+	size  = int64(16 << 10)
+)
+
+func main() {
+	// --- Author the algorithm (paper Figure 5 style, global view) ---
+	prog := mscclpp.NewProgram("my-allreduce", "allreduce", ranks, 1, size, size)
+
+	// Per-rank packet scratch: one slot per source rank.
+	scratch := make([]*mscclpp.DSLBuffer, ranks)
+	for r := 0; r < ranks; r++ {
+		scratch[r] = prog.ScratchBuffer(r, size*int64(ranks))
+	}
+	// Channels: every rank's input streams into every peer's scratch.
+	chans := map[[2]int]*mscclpp.DSLMemChannel{}
+	for a := 0; a < ranks; a++ {
+		for b := 0; b < ranks; b++ {
+			if a != b {
+				chans[[2]int{a, b}] = prog.MemoryChannel(a, b, prog.Input(a), scratch[b])
+			}
+		}
+	}
+	const flag = 1
+	for r := 0; r < ranks; r++ {
+		in, out := prog.Input(r), prog.Output(r)
+		// Broadcast my input to every peer with LL packets.
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			chans[[2]int{r, q}].PutPackets(scratch[q].Chunk(int64(r)*size, size), in.Whole(), 0, flag)
+		}
+		// Reduce my own contribution plus every arriving slot.
+		out.Whole().Copy(in.Whole(), 0)
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			chans[[2]int{q, r}].AwaitPackets(0, flag, size)
+			out.Whole().Reduce(scratch[r].Chunk(int64(q)*size, size), 0)
+		}
+	}
+
+	// --- Lower: dependence analysis + sync insertion + fusion ---
+	plan, err := prog.Lower()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lowered plan: %d channels, %d ops across %d ranks\n",
+		len(plan.Channels), plan.OpCount(), plan.Ranks)
+
+	// --- Execute on a simulated cluster and verify ---
+	cluster := mscclpp.NewCluster(mscclpp.A100x40G(1))
+	cluster.MaterializeLimit = 1 << 40
+	comm := mscclpp.NewCommunicator(cluster)
+	in := make([]*mscclpp.Buffer, ranks)
+	out := make([]*mscclpp.Buffer, ranks)
+	for r := 0; r < ranks; r++ {
+		in[r] = cluster.Alloc(r, "in", size)
+		out[r] = cluster.Alloc(r, "out", size)
+	}
+	pattern := func(r int, i int64) float32 { return float32(r) + float32(i%3) }
+	mscclpp.FillInputs(in, pattern)
+	inst, err := mscclpp.NewExecutor(comm, plan, in, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := cluster.Now()
+	inst.Launch()
+	if err := cluster.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := mscclpp.CheckAllReduce(out, pattern, 1e-4); err != nil {
+		log.Fatalf("wrong result: %v", err)
+	}
+	fmt.Printf("custom DSL AllReduce over %d GPUs: %.2fus (verified)\n",
+		ranks, float64(cluster.Now()-start)/1000)
+}

@@ -1,0 +1,26 @@
+// Inference example: measure the decode-step speedup of MSCCL++ over an
+// NCCL-style baseline for Llama3-70B tensor-parallel inference (the paper's
+// Figure 11 workload) at a few batch sizes.
+package main
+
+import (
+	"fmt"
+
+	"mscclpp/internal/inference"
+	"mscclpp/internal/topology"
+)
+
+func main() {
+	envFn := func() *topology.Env { return topology.A100_80G(1) }
+	env := envFn()
+	model := inference.Llama3x70B(8)
+	nccl := inference.NewARTimer(envFn, inference.LibNCCL)
+	mpp := inference.NewARTimer(envFn, inference.LibMSCCLPP)
+	fmt.Println("Llama3-70b decode, TP=8 on simulated A100-80G (seqlen 512):")
+	for _, bsz := range []int{1, 8, 32} {
+		tN := inference.DecodeStep(env, model, bsz, 512, nccl.Time)
+		tM := inference.DecodeStep(env, model, bsz, 512, mpp.Time)
+		fmt.Printf("  bsz=%-3d  NCCL %6.2fms  MSCCL++ %6.2fms  speedup %.2fx\n",
+			bsz, float64(tN)/1e6, float64(tM)/1e6, inference.Speedup(tN, tM))
+	}
+}

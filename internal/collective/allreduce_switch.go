@@ -1,0 +1,75 @@
+package collective
+
+import (
+	"fmt"
+
+	"mscclpp/internal/core"
+	"mscclpp/internal/machine"
+	"mscclpp/internal/mem"
+)
+
+// AllReduce2PASwitch is the SwitchChannel AllReduce for NVSwitch-SHARP
+// machines (paper §4.3, §7.2): each rank runs the fused
+// multimem.ld_reduce + multimem.st loop over its 1/N slice — the switch
+// aggregates inputs in-network and multicasts results — bracketed by rank
+// barriers. This is the "15 lines of Python" kernel.
+type AllReduce2PASwitch struct {
+	TB int
+}
+
+// Name implements Algorithm.
+func (a *AllReduce2PASwitch) Name() string { return "mscclpp-2PA-Switch" }
+
+// Prepare implements Algorithm.
+func (a *AllReduce2PASwitch) Prepare(c *Comm, in, out []*mem.Buffer) (*Exec, error) {
+	size, err := validateAllReduceBufs(c, in, out)
+	if err != nil {
+		return nil, err
+	}
+	if c.M.Env.Nodes != 1 {
+		return nil, fmt.Errorf("%s: single-node only", a.Name())
+	}
+	if !c.M.Fabric.HasSwitch() {
+		return nil, fmt.Errorf("%s: %s has no switch-mapped I/O", a.Name(), c.M.Env.Name)
+	}
+	n := c.Ranks()
+	ranks := allRanks(n)
+	slice := size / int64(n)
+	inChans := c.C.NewSwitchChannels(ranks, in)
+	outChans := c.C.NewSwitchChannels(ranks, out)
+	bar := newBarrier(c, ranks)
+	nTB := a.TB
+	if nTB == 0 {
+		nTB = int(size / (256 << 10))
+		if nTB < 2 {
+			nTB = 2
+		}
+		if nTB > 24 {
+			nTB = 24
+		}
+	}
+	launch := func() []*machine.KernelHandle {
+		handles := make([]*machine.KernelHandle, n)
+		for _, r := range ranks {
+			r := r
+			handles[r] = c.M.GPUs[r].Launch(a.Name(), nTB, func(k *machine.Kernel) {
+				// Entry barrier: all inputs registered and ready.
+				if k.Block == 0 {
+					bar.sync(k, ranks)
+				}
+				k.GridBarrier()
+				// Fused in-switch reduce + multicast of my slice.
+				core.FusedReduceBroadcast(k, inChans[r], outChans[r],
+					int64(r)*slice, int64(r)*slice, slice, k.Block, k.NumBlocks)
+				k.GridBarrier()
+				// Exit barrier: my output regions written by peers' stores.
+				if k.Block == 0 {
+					bar.sync(k, ranks)
+				}
+				k.GridBarrier()
+			})
+		}
+		return handles
+	}
+	return &Exec{Name: a.Name(), launch: launch}, nil
+}

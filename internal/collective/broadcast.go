@@ -1,0 +1,152 @@
+package collective
+
+import (
+	"fmt"
+
+	"mscclpp/internal/machine"
+	"mscclpp/internal/mem"
+	"mscclpp/internal/sim"
+)
+
+// BroadcastFlat is the single-node Broadcast: the root writes the buffer
+// directly into every peer's output with sharded thread-copy puts and one
+// signal round — zero-copy and single-step, in contrast to send/recv chains.
+type BroadcastFlat struct {
+	Root int
+	TB   int
+}
+
+// Name implements Algorithm.
+func (a *BroadcastFlat) Name() string { return "mscclpp-Broadcast-Flat" }
+
+// Prepare implements Algorithm. in[root] is the source; out[r] receives the
+// buffer on every rank (in[r] for r != root is ignored, as in NCCL when
+// sendbuff==recvbuff conventions are not used).
+func (a *BroadcastFlat) Prepare(c *Comm, in, out []*mem.Buffer) (*Exec, error) {
+	size, err := validateAllReduceBufs(c, in, out)
+	if err != nil {
+		return nil, err
+	}
+	if c.M.Env.Nodes != 1 {
+		return nil, fmt.Errorf("%s: single-node only", a.Name())
+	}
+	n := c.Ranks()
+	root := a.Root
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("%s: root %d out of range", a.Name(), root)
+	}
+	ranks := allRanks(n)
+	m := newMesh(c, ranks,
+		func(r int) *mem.Buffer { return in[r] },
+		func(r int) *mem.Buffer { return out[r] })
+	nTB := a.TB
+	if nTB == 0 {
+		nTB = int(size / (256 << 10))
+		if nTB < 2 {
+			nTB = 2
+		}
+		if nTB > 24 {
+			nTB = 24
+		}
+	}
+	launch := func() []*machine.KernelHandle {
+		handles := make([]*machine.KernelHandle, n)
+		for _, r := range ranks {
+			r := r
+			handles[r] = c.M.GPUs[r].Launch(a.Name(), nTB, func(k *machine.Kernel) {
+				if r == root {
+					for _, p := range peersOf(ranks, r) {
+						m.at(r, p).Put(k, 0, 0, size, k.Block, k.NumBlocks)
+					}
+					localCopy(k, out[r], 0, in[r], 0, size)
+					k.GridBarrier()
+					if k.Block == 0 {
+						for _, p := range peersOf(ranks, r) {
+							m.at(r, p).Signal(k)
+						}
+					}
+				} else if k.Block == 0 {
+					m.at(r, root).Wait(k)
+				}
+				k.GridBarrier()
+			})
+		}
+		return handles
+	}
+	return &Exec{Name: a.Name(), launch: launch}, nil
+}
+
+// BroadcastSwitch multicasts the root's buffer through the NVSwitch in a
+// single multimem.st pass (H100).
+type BroadcastSwitch struct {
+	Root int
+	TB   int
+}
+
+// Name implements Algorithm.
+func (a *BroadcastSwitch) Name() string { return "mscclpp-Broadcast-Switch" }
+
+// Prepare implements Algorithm.
+func (a *BroadcastSwitch) Prepare(c *Comm, in, out []*mem.Buffer) (*Exec, error) {
+	size, err := validateAllReduceBufs(c, in, out)
+	if err != nil {
+		return nil, err
+	}
+	if c.M.Env.Nodes != 1 {
+		return nil, fmt.Errorf("%s: single-node only", a.Name())
+	}
+	if !c.M.Fabric.HasSwitch() {
+		return nil, fmt.Errorf("%s: %s has no switch-mapped I/O", a.Name(), c.M.Env.Name)
+	}
+	n := c.Ranks()
+	root := a.Root
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("%s: root %d out of range", a.Name(), root)
+	}
+	ranks := allRanks(n)
+	outChans := c.C.NewSwitchChannels(ranks, out)
+	bar := newBarrier(c, ranks)
+	nTB := a.TB
+	if nTB == 0 {
+		nTB = int(size / (256 << 10))
+		if nTB < 2 {
+			nTB = 2
+		}
+		if nTB > 24 {
+			nTB = 24
+		}
+	}
+	launch := func() []*machine.KernelHandle {
+		handles := make([]*machine.KernelHandle, n)
+		for _, r := range ranks {
+			r := r
+			handles[r] = c.M.GPUs[r].Launch(a.Name(), nTB, func(k *machine.Kernel) {
+				if r == root {
+					outChans[r].BroadcastFrom(k, in[r], 0, 0, size, k.Block, k.NumBlocks)
+				}
+				k.GridBarrier()
+				if k.Block == 0 {
+					bar.sync(k, ranks)
+				}
+				k.GridBarrier()
+			})
+		}
+		return handles
+	}
+	return &Exec{Name: a.Name(), launch: launch}, nil
+}
+
+// Broadcast is the one-call Collective API for Broadcast from root.
+func (c *Comm) Broadcast(in, out []*mem.Buffer, root int) (sim.Duration, error) {
+	var algo Algorithm
+	if c.M.Env.Nodes == 1 && c.M.Env.HasMulticast && in[0].Size() >= 1<<20 {
+		algo = &BroadcastSwitch{Root: root}
+	} else {
+		algo = &BroadcastFlat{Root: root}
+	}
+	ex, err := algo.Prepare(c, in, out)
+	if err != nil {
+		return 0, err
+	}
+	return c.Run(ex)
+}

@@ -1,0 +1,357 @@
+// Package collective implements the MSCCL++ collectives library (paper
+// Section 6): AllReduce, AllGather and ReduceScatter algorithms written
+// against the Primitive API, plus the NCCL-style Collective API with
+// size-based algorithm selection.
+//
+// Algorithms implemented (names follow the paper):
+//
+//   - 1PA: one-phase all-pairs, LL protocol — small single-node messages.
+//   - 2PA: two-phase all-pairs (ReduceScatter + AllGather), LL and HB
+//     MemoryChannel variants and a SwitchChannel (NVLS) variant.
+//   - 2PR: two-phase ring over PortChannel with reduction overlapped with
+//     DMA-copy (paper Figure 6) — large single-node messages.
+//   - 2PH: two-phase hierarchical, LL (small) and HB (large) variants —
+//     multi-node messages.
+//
+// Buffer conventions match NCCL: AllReduce takes equal-sized in/out buffers
+// of S bytes; AllGather takes S/N-byte shards in and S-byte out; ReduceScatter
+// takes S bytes in and S/N out.
+package collective
+
+import (
+	"fmt"
+
+	"mscclpp/internal/core"
+	"mscclpp/internal/machine"
+	"mscclpp/internal/mem"
+	"mscclpp/internal/sim"
+)
+
+// Comm wraps a machine with a communicator; all algorithm setups hang off it.
+type Comm struct {
+	M *machine.Machine
+	C *core.Communicator
+}
+
+// New returns a collective communicator over all ranks of m.
+func New(m *machine.Machine) *Comm {
+	return &Comm{M: m, C: core.NewCommunicator(m)}
+}
+
+// Ranks returns the world size.
+func (c *Comm) Ranks() int { return len(c.M.GPUs) }
+
+// Exec is a prepared collective: channels and scratch are set up once;
+// Launch starts one timed invocation's kernels.
+type Exec struct {
+	Name   string
+	launch func() []*machine.KernelHandle
+}
+
+// NewExec wraps a launch function as an Exec; used by baseline libraries
+// (ncclsim, mscclsim) so benchmarks can time every library uniformly.
+func NewExec(name string, launch func() []*machine.KernelHandle) *Exec {
+	return &Exec{Name: name, launch: launch}
+}
+
+// Run performs one invocation of the prepared collective and returns its
+// virtual duration (launch through last data arrival).
+func (c *Comm) Run(ex *Exec) (sim.Duration, error) {
+	start := c.M.Engine.Now()
+	ex.launch()
+	if err := c.M.Run(); err != nil {
+		return 0, fmt.Errorf("collective %s: %w", ex.Name, err)
+	}
+	return c.M.Engine.Now() - start, nil
+}
+
+// Algorithm prepares executions of one collective algorithm for a fixed set
+// of buffers.
+type Algorithm interface {
+	Name() string
+	// Prepare validates buffers, builds channels/scratch, and returns a
+	// reusable Exec. in and out are indexed by rank.
+	Prepare(c *Comm, in, out []*mem.Buffer) (*Exec, error)
+}
+
+// shardRange splits size into nTB 4-byte-aligned shards (same contract as
+// the core package's sharding).
+func shardRange(size int64, tb, nTB int) (off, n int64) {
+	if nTB <= 1 {
+		return 0, size
+	}
+	el := size / 4
+	base := el / int64(nTB)
+	rem := el % int64(nTB)
+	startEl := base*int64(tb) + minI64(int64(tb), rem)
+	count := base
+	if int64(tb) < rem {
+		count++
+	}
+	off = startEl * 4
+	n = count * 4
+	if tb == nTB-1 {
+		n += size % 4
+	}
+	return off, n
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// localCopy charges block k its shard of a local size-byte copy and moves
+// the data.
+func localCopy(k *machine.Kernel, dst *mem.Buffer, dstOff int64, src *mem.Buffer, srcOff, size int64) {
+	off, n := shardRange(size, k.Block, k.NumBlocks)
+	if n == 0 {
+		return
+	}
+	k.LocalCopy(n, 1)
+	src.CopyTo(dst, dstOff+off, srcOff+off, n)
+}
+
+// localReduce charges block k its shard of a local size-byte accumulate
+// (dst += src) and applies it.
+func localReduce(k *machine.Kernel, dst *mem.Buffer, dstOff int64, src *mem.Buffer, srcOff, size int64) {
+	off, n := shardRange(size, k.Block, k.NumBlocks)
+	if n == 0 {
+		return
+	}
+	k.LocalReduce(n, 1)
+	dst.AccumulateFrom(src, dstOff+off, srcOff+off, n)
+}
+
+// validateEqualSized checks per-rank buffer arrays.
+func validateEqualSized(c *Comm, bufs []*mem.Buffer, what string) (int64, error) {
+	if len(bufs) != c.Ranks() {
+		return 0, fmt.Errorf("collective: %d %s buffers for %d ranks", len(bufs), what, c.Ranks())
+	}
+	size := bufs[0].Size()
+	for r, b := range bufs {
+		if b == nil {
+			return 0, fmt.Errorf("collective: nil %s buffer for rank %d", what, r)
+		}
+		if b.Rank != r {
+			return 0, fmt.Errorf("collective: %s buffer %d lives on rank %d", what, r, b.Rank)
+		}
+		if b.Size() != size {
+			return 0, fmt.Errorf("collective: %s buffer sizes differ (%d vs %d)", what, b.Size(), size)
+		}
+	}
+	return size, nil
+}
+
+func validateAllReduceBufs(c *Comm, in, out []*mem.Buffer) (int64, error) {
+	sIn, err := validateEqualSized(c, in, "input")
+	if err != nil {
+		return 0, err
+	}
+	sOut, err := validateEqualSized(c, out, "output")
+	if err != nil {
+		return 0, err
+	}
+	if sIn != sOut {
+		return 0, fmt.Errorf("collective: allreduce in %d bytes != out %d bytes", sIn, sOut)
+	}
+	n := int64(c.Ranks())
+	if sIn%(4*n) != 0 {
+		return 0, fmt.Errorf("collective: size %d not divisible by 4*ranks", sIn)
+	}
+	return sIn, nil
+}
+
+// mesh is a full set of pairwise channels among a rank subset.
+type mesh struct {
+	chans map[int]map[int]*core.MemoryChannel // [local][peer]
+}
+
+// newMesh builds pairwise memory channels among ranks, binding each
+// direction a->b as (srcOf(a) on a) -> (dstOf(b) on b).
+func newMesh(c *Comm, ranks []int, srcOf, dstOf func(r int) *mem.Buffer) *mesh {
+	m := &mesh{chans: make(map[int]map[int]*core.MemoryChannel)}
+	for _, r := range ranks {
+		m.chans[r] = make(map[int]*core.MemoryChannel)
+	}
+	for i, a := range ranks {
+		for _, b := range ranks[i+1:] {
+			ca, cb := c.C.NewMemoryChannelPairEx(a, b, srcOf(a), dstOf(b), srcOf(b), dstOf(a))
+			m.chans[a][b] = ca
+			m.chans[b][a] = cb
+		}
+	}
+	return m
+}
+
+// at returns rank r's channel to peer p.
+func (m *mesh) at(r, p int) *core.MemoryChannel { return m.chans[r][p] }
+
+// portMesh is a full set of pairwise PortChannels among a rank subset.
+type portMesh struct {
+	chans map[int]map[int]*core.PortChannel
+}
+
+// newPortMesh builds pairwise port channels among ranks with per-direction
+// bindings like newMesh.
+func newPortMesh(c *Comm, ranks []int, srcOf, dstOf func(r int) *mem.Buffer) *portMesh {
+	m := &portMesh{chans: make(map[int]map[int]*core.PortChannel)}
+	for _, r := range ranks {
+		m.chans[r] = make(map[int]*core.PortChannel)
+	}
+	for i, a := range ranks {
+		for _, b := range ranks[i+1:] {
+			ca, cb := c.C.NewPortChannelPairEx(a, b, srcOf(a), dstOf(b), srcOf(b), dstOf(a))
+			m.chans[a][b] = ca
+			m.chans[b][a] = cb
+		}
+	}
+	return m
+}
+
+// at returns rank r's port channel to peer p.
+func (m *portMesh) at(r, p int) *core.PortChannel { return m.chans[r][p] }
+
+// peers returns r's peers in deterministic order, rotated so each rank
+// starts with a different peer (spreading load, paper §7.2).
+func peersOf(ranks []int, r int) []int {
+	idx := -1
+	for i, x := range ranks {
+		if x == r {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic(fmt.Sprintf("collective: rank %d not in group %v", r, ranks))
+	}
+	out := make([]int, 0, len(ranks)-1)
+	for s := 1; s < len(ranks); s++ {
+		out = append(out, ranks[(idx+s)%len(ranks)])
+	}
+	return out
+}
+
+// barrier is an all-pairs signal/wait rank barrier used by switch-based
+// algorithms (relaxed-semantics flags in the real implementation).
+type barrier struct {
+	m *mesh
+}
+
+func newBarrier(c *Comm, ranks []int) *barrier {
+	dummies := make(map[int]*mem.Buffer, len(ranks))
+	for _, r := range ranks {
+		dummies[r] = mem.NewBuffer(r, "barrier", 4)
+	}
+	get := func(r int) *mem.Buffer { return dummies[r] }
+	return &barrier{m: newMesh(c, ranks, get, get)}
+}
+
+// sync performs the barrier from block 0 of each rank's kernel; other blocks
+// must synchronize via GridBarrier around it.
+func (b *barrier) sync(k *machine.Kernel, ranks []int) {
+	r := k.GPU.Rank
+	for _, p := range peersOf(ranks, r) {
+		b.m.at(r, p).Signal(k)
+	}
+	for _, p := range peersOf(ranks, r) {
+		b.m.at(r, p).Wait(k)
+	}
+}
+
+// allRanks returns [0..n).
+func allRanks(n int) []int {
+	rs := make([]int, n)
+	for i := range rs {
+		rs[i] = i
+	}
+	return rs
+}
+
+// nodeRanks returns the global ranks of one node.
+func (c *Comm) nodeRanks(node int) []int {
+	g := c.M.Env.GPUsPerNode
+	rs := make([]int, g)
+	for i := range rs {
+		rs[i] = node*g + i
+	}
+	return rs
+}
+
+// sameLocalRanks returns the global ranks with local index l across nodes.
+func (c *Comm) sameLocalRanks(l int) []int {
+	rs := make([]int, c.M.Env.Nodes)
+	for n := range rs {
+		rs[n] = n*c.M.Env.GPUsPerNode + l
+	}
+	return rs
+}
+
+// FillInputs fills in[r] element i with f(r, i) (test/bench helper).
+func FillInputs(in []*mem.Buffer, f func(r int, i int64) float32) {
+	for r, b := range in {
+		rr := r
+		b.FillPattern(func(i int64) float32 { return f(rr, i) })
+	}
+}
+
+// CheckAllReduce verifies out[r] == sum over ranks of f(rank, i) for all r.
+func CheckAllReduce(out []*mem.Buffer, f func(r int, i int64) float32, eps float32) error {
+	n := len(out)
+	want := func(i int64) float32 {
+		var s float32
+		for r := 0; r < n; r++ {
+			s += f(r, i)
+		}
+		return s
+	}
+	for r, b := range out {
+		if err := b.EqualFloat32(want, eps); err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// CheckAllGather verifies out[r] is the concatenation of the shards,
+// where shard p element i equals f(p, i).
+func CheckAllGather(out []*mem.Buffer, shardBytes int64, f func(p int, i int64) float32, eps float32) error {
+	n := len(out)
+	shardEl := shardBytes / 4
+	want := func(i int64) float32 {
+		p := i / shardEl
+		if p >= int64(n) {
+			p = int64(n) - 1
+		}
+		return f(int(p), i%shardEl)
+	}
+	for r, b := range out {
+		if err := b.EqualFloat32(want, eps); err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// CheckReduceScatter verifies out[r] element i == sum over p of
+// f(p, r*outEl+i).
+func CheckReduceScatter(out []*mem.Buffer, f func(p int, i int64) float32, eps float32) error {
+	n := len(out)
+	for r, b := range out {
+		outEl := b.Size() / 4
+		base := int64(r) * outEl
+		want := func(i int64) float32 {
+			var s float32
+			for p := 0; p < n; p++ {
+				s += f(p, base+i)
+			}
+			return s
+		}
+		if err := b.EqualFloat32(want, eps); err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package dsl
+
+import "fmt"
+
+// This file contains the DSL-authored collective algorithms bundled with the
+// library (paper §6: "we implement the best algorithms in our collective
+// kernels using the MSCCL++ DSL"). Each builder returns a Program ready to
+// Lower; the executor package runs the resulting plans.
+
+// BuildAllReduce1PA authors the one-phase all-pairs LL AllReduce in the DSL:
+// every rank packet-broadcasts its input to every peer's scratch slot and
+// reduces arrivals locally.
+func BuildAllReduce1PA(ranks int, size int64, numTB int) (*Program, error) {
+	if numTB < 1 {
+		numTB = 1
+	}
+	p := NewProgram(fmt.Sprintf("dsl-1PA-LL-%dB", size), "allreduce", ranks, numTB, size, size)
+	scratch := make([]*Buffer, ranks)
+	for r := 0; r < ranks; r++ {
+		scratch[r] = p.ScratchBuffer(r, size*int64(ranks))
+	}
+	chans := make([][]*MemChannel, ranks)
+	for r := 0; r < ranks; r++ {
+		chans[r] = make([]*MemChannel, ranks)
+	}
+	for a := 0; a < ranks; a++ {
+		for b := 0; b < ranks; b++ {
+			if a != b {
+				chans[a][b] = p.MemoryChannel(a, b, p.Input(a), scratch[b])
+			}
+		}
+	}
+	grp := TBGroup{First: 0, Size: numTB}
+	const flag = 1
+	for r := 0; r < ranks; r++ {
+		in, out := p.Input(r), p.Output(r)
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			chans[r][q].PutPackets(scratch[q].Chunk(int64(r)*size, size), in.Whole(), 0, flag, grp)
+		}
+		out.Whole().Copy(in.Whole(), 0, grp)
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			for tb := 0; tb < numTB; tb++ {
+				chans[q][r].AwaitPackets(tb, flag, size)
+			}
+			out.Whole().Reduce(scratch[r].Chunk(int64(q)*size, size), 0, grp)
+		}
+	}
+	return p, nil
+}
+
+// BuildAllReduce2PAHB authors the two-phase all-pairs HB AllReduce in the
+// DSL: pull-reduce my slice from all peers, device sync, push the reduced
+// slice to all peers, then signal/wait closing handshake.
+func BuildAllReduce2PAHB(ranks int, size int64, numTB int) (*Program, error) {
+	if size%int64(4*ranks) != 0 {
+		return nil, fmt.Errorf("dsl 2PA-HB: size %d not divisible by 4*ranks", size)
+	}
+	if numTB < 1 {
+		numTB = 1
+	}
+	slice := size / int64(ranks)
+	p := NewProgram(fmt.Sprintf("dsl-2PA-HB-%dB", size), "allreduce", ranks, numTB, size, size)
+	pull := make([][]*MemChannel, ranks)
+	push := make([][]*MemChannel, ranks)
+	for r := 0; r < ranks; r++ {
+		pull[r] = make([]*MemChannel, ranks)
+		push[r] = make([]*MemChannel, ranks)
+	}
+	for a := 0; a < ranks; a++ {
+		for b := 0; b < ranks; b++ {
+			if a != b {
+				pull[a][b] = p.MemoryChannel(a, b, p.Input(a), p.Input(b))
+				push[a][b] = p.MemoryChannel(a, b, p.Output(a), p.Output(b))
+			}
+		}
+	}
+	grp := TBGroup{First: 0, Size: numTB}
+	for r := 0; r < ranks; r++ {
+		in, out := p.Input(r), p.Output(r)
+		my := int64(r) * slice
+		mine := out.Chunk(my, slice)
+		mine.Copy(in.Chunk(my, slice), 0, grp)
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			pull[r][q].Reduce(mine, p.Input(q).Chunk(my, slice), 0, grp)
+		}
+		p.DeviceSync(r)
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			push[r][q].Put(p.Output(q).Chunk(my, slice), mine, 0, grp)
+		}
+		p.DeviceSync(r)
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			push[r][q].Signal(0)
+		}
+		for s := 1; s < ranks; s++ {
+			q := (r + s) % ranks
+			push[q][r].Wait(0)
+		}
+		p.DeviceSync(r)
+	}
+	return p, nil
+}
+
+// BuildRingReduceScatter authors the overlapped Ring ReduceScatter of paper
+// Figure 6 in the DSL: PortChannel puts of half-chunks whose DMA transfers
+// overlap the local reduction of the previously received halves. After the
+// program, rank r's working scratch holds chunk (r+1)%N fully reduced.
+// The working buffer is the output buffer (sized like the input) and the
+// receive buffer is scratch, mirroring Figure 6's src/scr split.
+func BuildRingReduceScatter(ranks int, size int64) (*Program, error) {
+	if ranks < 2 {
+		return nil, fmt.Errorf("dsl ringRS: need >= 2 ranks")
+	}
+	if size%int64(8*ranks) != 0 {
+		return nil, fmt.Errorf("dsl ringRS: size %d not divisible by 8*ranks", size)
+	}
+	chunk := size / int64(ranks)
+	half := chunk / 2
+	p := NewProgram(fmt.Sprintf("dsl-ringRS-%dB", size), "reducescatter-ring", ranks, 1, size, size)
+	scr := make([]*Buffer, ranks)
+	for r := 0; r < ranks; r++ {
+		scr[r] = p.ScratchBuffer(r, size)
+	}
+	// portChannels[r] sends from r's working buffer (output) to next's scr.
+	put := make([]*PortChannel, ranks)
+	for r := 0; r < ranks; r++ {
+		next := (r + 1) % ranks
+		put[r] = p.PortChannel(r, next, p.Output(r), scr[next])
+	}
+	const tb = 0
+	for r := 0; r < ranks; r++ {
+		src := p.Output(r) // working buffer, seeded from input
+		recv := scr[r]
+		prev := (r + ranks - 1) % ranks
+		src.Whole().Copy(p.Input(r).Whole(), tb)
+		for step := 0; step < ranks-1; step++ {
+			cs := int64((r+ranks-step)%ranks) * chunk   // chunk to send
+			cr := int64((r+ranks-step-1)%ranks) * chunk // chunk arriving
+			// (a) Put 1st half of the outgoing chunk.
+			put[r].Put(scr[(r+1)%ranks].Chunk(cs, half), src.Chunk(cs, half), tb)
+			put[r].Signal(tb)
+			// (b) Put 2nd half; its DMA overlaps the reduction below.
+			put[r].Put(scr[(r+1)%ranks].Chunk(cs+half, half), src.Chunk(cs+half, half), tb)
+			put[r].Signal(tb)
+			// Wait for the 1st half of the incoming chunk and reduce it
+			// while (b) is in flight.
+			put[prev].Wait(tb)
+			src.Chunk(cr, half).Reduce(recv.Chunk(cr, half), tb)
+			put[prev].Wait(tb)
+			src.Chunk(cr+half, half).Reduce(recv.Chunk(cr+half, half), tb)
+			put[r].Flush(tb)
+		}
+	}
+	return p, nil
+}

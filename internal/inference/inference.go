@@ -1,0 +1,283 @@
+// Package inference models the paper's end-to-end LLM inference workloads
+// (Section 7.3): tensor-parallel transformer decode and prefill whose
+// compute side follows a roofline model and whose communication side runs
+// the actual simulated collectives — MSCCL++, NCCL-sim, or a vLLM-style
+// custom kernel — at the workload's exact message sizes.
+//
+// The inference substitution (DESIGN.md): the paper measures vLLM/SGLang on
+// real GPUs; decode speedups there are communication-fraction arithmetic
+// over collective latencies, which we recompose with simulated latencies.
+package inference
+
+import (
+	"fmt"
+
+	"mscclpp/internal/baseline/mscclsim"
+	"mscclpp/internal/baseline/ncclsim"
+	"mscclpp/internal/baseline/twosided"
+	"mscclpp/internal/collective"
+	"mscclpp/internal/machine"
+	"mscclpp/internal/mem"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
+)
+
+// Library selects the communication backend of a workload.
+type Library string
+
+// Backends.
+const (
+	LibMSCCLPP    Library = "mscclpp"
+	LibNCCL       Library = "nccl"
+	LibMSCCL      Library = "msccl"
+	LibVLLMCustom Library = "vllm-custom"
+)
+
+// ARTimer measures AllReduce latency at arbitrary message sizes for one
+// (environment, library) pair, caching per size. Each measurement builds a
+// fresh simulated cluster, prepares the library's best algorithm, warms it
+// up once and times the second invocation (steady state, as with CUDA
+// graphs in the paper).
+type ARTimer struct {
+	envFn func() *topology.Env
+	lib   Library
+	cache map[int64]sim.Duration
+}
+
+// NewARTimer returns a timer for lib on the environment produced by envFn.
+func NewARTimer(envFn func() *topology.Env, lib Library) *ARTimer {
+	return &ARTimer{envFn: envFn, lib: lib, cache: make(map[int64]sim.Duration)}
+}
+
+// Time returns the AllReduce latency for a message of msg bytes.
+func (t *ARTimer) Time(msg int64) sim.Duration {
+	if msg <= 0 {
+		return 0
+	}
+	// Round up to 4*ranks alignment.
+	env := t.envFn()
+	align := int64(4 * env.TotalGPUs())
+	if rem := msg % align; rem != 0 {
+		msg += align - rem
+	}
+	if d, ok := t.cache[msg]; ok {
+		return d
+	}
+	d, err := MeasureAllReduce(t.envFn(), t.lib, msg)
+	if err != nil {
+		panic(fmt.Sprintf("inference: measuring %s allreduce at %dB: %v", t.lib, msg, err))
+	}
+	t.cache[msg] = d
+	return d
+}
+
+// MeasureAllReduce times one library's best AllReduce at size bytes (warm
+// run measured).
+func MeasureAllReduce(env *topology.Env, lib Library, size int64) (sim.Duration, error) {
+	best := sim.Duration(0)
+	run := func(prep func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error)) error {
+		m := machine.New(env)
+		m.MaterializeLimit = 0 // timing only
+		c := collective.New(m)
+		n := c.Ranks()
+		in := make([]*mem.Buffer, n)
+		out := make([]*mem.Buffer, n)
+		for r := 0; r < n; r++ {
+			in[r] = m.Alloc(r, "in", size)
+			out[r] = m.Alloc(r, "out", size)
+		}
+		ex, err := prep(c, in, out)
+		if err != nil {
+			return nil // algorithm not applicable in this configuration
+		}
+		if _, err := c.Run(ex); err != nil { // warm-up
+			return err
+		}
+		d, err := c.Run(ex)
+		if err != nil {
+			return err
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+		return nil
+	}
+	var err error
+	switch lib {
+	case LibMSCCLPP:
+		err = run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+			return c.SelectAllReduce(size).Prepare(c, in, out)
+		})
+	case LibVLLMCustom:
+		err = run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+			return (&collective.AllReduce1PAHB{}).Prepare(c, in, out)
+		})
+	case LibNCCL:
+		for _, proto := range []twosided.Proto{twosided.ProtoLL, twosided.ProtoSimple} {
+			p := proto
+			if e := run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+				return ncclsim.New(c, 0).PrepareAllReduceRing(in, out, p)
+			}); e != nil {
+				err = e
+			}
+			if env.Nodes > 1 {
+				if e := run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+					return ncclsim.New(c, 0).PrepareAllReduceTree(in, out, p)
+				}); e != nil {
+					err = e
+				}
+			}
+		}
+	case LibMSCCL:
+		if env.Nodes == 1 {
+			if e := run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+				return mscclsim.New(c, 0).PrepareAllReduceAllPairs1P(in, out)
+			}); e != nil {
+				err = e
+			}
+			for _, proto := range []twosided.Proto{twosided.ProtoLL, twosided.ProtoSimple} {
+				p := proto
+				if e := run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+					return mscclsim.New(c, 0).PrepareAllReduceAllPairs2P(in, out, p)
+				}); e != nil {
+					err = e
+				}
+			}
+			if e := run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+				return ncclsim.New(c, 0).PrepareAllReduceRing(in, out, twosided.ProtoSimple)
+			}); e != nil {
+				err = e
+			}
+		} else {
+			for _, proto := range []twosided.Proto{twosided.ProtoLL, twosided.ProtoSimple} {
+				p := proto
+				if e := run(func(c *collective.Comm, in, out []*mem.Buffer) (*collective.Exec, error) {
+					return mscclsim.New(c, 0).PrepareAllReduceHier(in, out, p)
+				}); e != nil {
+					err = e
+				}
+			}
+		}
+	default:
+		return 0, fmt.Errorf("inference: unknown library %q", lib)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("inference: no applicable algorithm for %s at %dB", lib, size)
+	}
+	return best, nil
+}
+
+// Model describes a tensor-parallel transformer for the roofline.
+type Model struct {
+	Name   string
+	Layers int
+	Hidden int
+	// WeightBytesPerGPU is the per-GPU resident weight footprint read every
+	// decode step (dense layers; for MoE, the activated expert subset).
+	WeightBytesPerGPU int64
+	// KVBytesPerTokenPerGPU is the KV-cache footprint per context token.
+	KVBytesPerTokenPerGPU int64
+	// FLOPsPerTokenPerGPU is the forward FLOP count per generated/processed
+	// token per GPU.
+	FLOPsPerTokenPerGPU float64
+	// Efficiency derates peak compute/memory (kernel overheads, attention
+	// inefficiency).
+	Efficiency float64
+	// ARsPerLayer is the number of tensor-parallel AllReduces per layer
+	// (post-attention and post-MLP).
+	ARsPerLayer int
+}
+
+// Llama3x70B returns the Llama3-70B model sharded over tp GPUs (paper
+// Figure 11 setup: TP=8 on A100-80G).
+func Llama3x70B(tp int) Model {
+	const (
+		layers = 80
+		hidden = 8192
+		params = 70.6e9
+	)
+	return Model{
+		Name:                  "Llama3-70b",
+		Layers:                layers,
+		Hidden:                hidden,
+		WeightBytesPerGPU:     int64(params * 2 / float64(tp)),
+		KVBytesPerTokenPerGPU: int64(layers * 2 * 1024 * 2 / tp), // GQA: 8 KV heads x 128
+		FLOPsPerTokenPerGPU:   2 * params / float64(tp),
+		Efficiency:            0.55,
+		ARsPerLayer:           2,
+	}
+}
+
+// DeepSeekV3 returns the DeepSeek-V3 model sharded over tp GPUs (paper
+// Figure 12 setup: TP=16 over two H100 nodes).
+func DeepSeekV3(tp int) Model {
+	const (
+		layers    = 61
+		hidden    = 7168
+		activated = 37e9
+	)
+	return Model{
+		Name:                  "DeepSeek-V3",
+		Layers:                layers,
+		Hidden:                hidden,
+		WeightBytesPerGPU:     int64(activated * 1 / float64(tp)), // FP8 weights
+		KVBytesPerTokenPerGPU: int64(layers * 576 * 2 / tp),       // MLA compressed KV
+		FLOPsPerTokenPerGPU:   2 * activated / float64(tp),
+		// MoE decode runs at very low MFU (expert gating, many small
+		// grouped GEMMs, MLA decompression), so the roofline derate is much
+		// harsher than for dense models.
+		Efficiency:  0.08,
+		ARsPerLayer: 2,
+	}
+}
+
+// DecodeStep returns the virtual time of one decode iteration for a batch
+// of bsz sequences with context length seqlen, using ar for the
+// tensor-parallel AllReduces.
+func DecodeStep(env *topology.Env, m Model, bsz, seqlen int, ar func(int64) sim.Duration) sim.Duration {
+	// Memory-bound side: weights are read once per step; KV cache is read
+	// for every sequence.
+	memBytes := float64(m.WeightBytesPerGPU) + float64(int64(bsz)*int64(seqlen)*m.KVBytesPerTokenPerGPU)
+	memT := memBytes / (env.HBMBW * m.Efficiency)
+	// Compute side (matters at large batch).
+	flops := m.FLOPsPerTokenPerGPU * float64(bsz)
+	compT := flops / (env.PeakTFLOPS * 1e3 * m.Efficiency) // TFLOPs -> FLOP/ns
+	compute := sim.Duration(memT)
+	if c := sim.Duration(compT); c > compute {
+		compute = c
+	}
+	// Tensor-parallel AllReduce per layer: bsz x hidden activations (bf16).
+	msg := int64(bsz) * int64(m.Hidden) * 2
+	comm := sim.Duration(m.Layers*m.ARsPerLayer) * ar(msg)
+	return compute + comm
+}
+
+// PrefillStep returns the virtual time of one prefill (prompt processing)
+// iteration over bsz sequences of seqlen tokens.
+func PrefillStep(env *topology.Env, m Model, bsz, seqlen int, ar func(int64) sim.Duration) sim.Duration {
+	tokens := float64(bsz * seqlen)
+	flops := m.FLOPsPerTokenPerGPU * tokens
+	compT := sim.Duration(flops / (env.PeakTFLOPS * 1e3 * m.Efficiency))
+	msg := int64(bsz) * int64(seqlen) * int64(m.Hidden) * 2
+	comm := sim.Duration(m.Layers*m.ARsPerLayer) * ar(msg)
+	return compT + comm
+}
+
+// Speedup computes a/b as a float ratio.
+func Speedup(a, b sim.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// DecodeThroughput returns tokens/second for one decode step time.
+func DecodeThroughput(bsz int, step sim.Duration) float64 {
+	if step <= 0 {
+		return 0
+	}
+	return float64(bsz) / (float64(step) / 1e9)
+}

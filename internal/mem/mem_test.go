@@ -1,0 +1,189 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBufferSizes(t *testing.T) {
+	b := NewBuffer(0, "b", 64)
+	if b.Size() != 64 || !b.Materialized() {
+		t.Fatalf("size=%d materialized=%v", b.Size(), b.Materialized())
+	}
+	v := NewVirtualBuffer(1, "v", 1<<30)
+	if v.Size() != 1<<30 || v.Materialized() {
+		t.Fatalf("virtual: size=%d materialized=%v", v.Size(), v.Materialized())
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuffer(0, "bad", -1)
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	b := NewBuffer(0, "b", 16)
+	b.SetFloat32(4, 3.25)
+	if got := b.Float32(4); got != 3.25 {
+		t.Fatalf("got %v", got)
+	}
+	if got := b.Float32(0); got != 0 {
+		t.Fatalf("untouched element = %v", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	b := NewBuffer(0, "b", 8)
+	cases := []func(){
+		func() { b.Float32(8) },
+		func() { b.Float32(-4) },
+		func() { b.SetFloat32(6, 1) },
+		func() { b.CopyTo(NewBuffer(0, "d", 8), 4, 0, 8) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCopyTo(t *testing.T) {
+	src := NewBuffer(0, "src", 32)
+	dst := NewBuffer(1, "dst", 32)
+	src.FillPattern(func(i int64) float32 { return float32(i) })
+	src.CopyTo(dst, 8, 8, 16)
+	if dst.Float32(8) != 2 || dst.Float32(20) != 5 {
+		t.Fatalf("copy wrong: %v %v", dst.Float32(8), dst.Float32(20))
+	}
+	if dst.Float32(0) != 0 || dst.Float32(24) != 0 {
+		t.Fatal("copy spilled outside range")
+	}
+}
+
+func TestVirtualOpsAreNoops(t *testing.T) {
+	v := NewVirtualBuffer(0, "v", 1024)
+	m := NewBuffer(1, "m", 1024)
+	m.FillFloat32(7)
+	// None of these should panic or move data.
+	v.SetFloat32(0, 1)
+	if v.Float32(0) != 0 {
+		t.Fatal("virtual read returned data")
+	}
+	v.CopyTo(m, 0, 0, 1024)
+	if m.Float32(0) != 7 {
+		t.Fatal("virtual source overwrote materialized destination")
+	}
+	m.CopyTo(v, 0, 0, 1024)
+	v.AccumulateFrom(m, 0, 0, 1024)
+	if err := v.EqualFloat32(func(int64) float32 { return 42 }, 0); err != nil {
+		t.Fatalf("virtual EqualFloat32 should vacuously pass: %v", err)
+	}
+	// Bounds are still enforced on virtual buffers.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected bounds panic on virtual buffer")
+		}
+	}()
+	v.CopyTo(m, 0, 512, 1024)
+}
+
+func TestAccumulateFrom(t *testing.T) {
+	a := NewBuffer(0, "a", 16)
+	b := NewBuffer(1, "b", 16)
+	a.FillPattern(func(i int64) float32 { return float32(i) })
+	b.FillPattern(func(i int64) float32 { return float32(10 * i) })
+	a.AccumulateFrom(b, 0, 0, 16)
+	if err := a.EqualFloat32(func(i int64) float32 { return float32(11 * i) }, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccumulateOddLengthPanics(t *testing.T) {
+	a := NewBuffer(0, "a", 16)
+	b := NewBuffer(1, "b", 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.AccumulateFrom(b, 0, 0, 6)
+}
+
+func TestEqualFloat32Mismatch(t *testing.T) {
+	a := NewBuffer(0, "a", 16)
+	a.FillFloat32(1)
+	if err := a.EqualFloat32(func(int64) float32 { return 1 }, 0); err != nil {
+		t.Fatalf("unexpected mismatch: %v", err)
+	}
+	if err := a.EqualFloat32(func(int64) float32 { return 2 }, 1e-6); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestMultimemReduceBroadcast(t *testing.T) {
+	const ranks = 4
+	var members []*Buffer
+	for r := 0; r < ranks; r++ {
+		b := NewBuffer(r, "m", 32)
+		rr := r
+		b.FillPattern(func(i int64) float32 { return float32(rr+1) * float32(i+1) })
+		members = append(members, b)
+	}
+	mm, err := NewMultimem("grp", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewBuffer(0, "dst", 32)
+	mm.ReduceInto(dst, 0, 0, 32)
+	// sum over r of (r+1)*(i+1) = 10*(i+1)
+	if err := dst.EqualFloat32(func(i int64) float32 { return 10 * float32(i+1) }, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	src := NewBuffer(2, "src", 32)
+	src.FillFloat32(-3)
+	mm.BroadcastFrom(src, 0, 0, 32)
+	for r := 0; r < ranks; r++ {
+		if err := members[r].EqualFloat32(func(int64) float32 { return -3 }, 0); err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestMultimemSizeMismatch(t *testing.T) {
+	a := NewBuffer(0, "a", 16)
+	b := NewBuffer(1, "b", 32)
+	if _, err := NewMultimem("bad", []*Buffer{a, b}); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+	if _, err := NewMultimem("empty", nil); err == nil {
+		t.Fatal("expected empty-group error")
+	}
+}
+
+// Property: copy then accumulate equals 2x source for any offset-aligned
+// subrange.
+func TestCopyAccumulateProperty(t *testing.T) {
+	f := func(seed uint8, nEl uint8) bool {
+		n := int64(nEl%32+1) * 4
+		src := NewBuffer(0, "s", n)
+		dst := NewBuffer(1, "d", n)
+		src.FillPattern(func(i int64) float32 { return float32(seed) + float32(i) })
+		src.CopyTo(dst, 0, 0, n)
+		dst.AccumulateFrom(src, 0, 0, n)
+		return dst.EqualFloat32(func(i int64) float32 {
+			return 2 * (float32(seed) + float32(i))
+		}, 1e-5) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

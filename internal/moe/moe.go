@@ -1,0 +1,244 @@
+// Package moe implements the DeepEP-style expert-parallel dispatch/combine
+// communication of paper Section 7.3 and Figure 13: Mixture-of-Experts
+// token routing across two H100 nodes (16 GPUs, 256 experts, top-k 8,
+// FP8 dispatch and BF16 combine), over either MSCCL++ PortChannels (CPU
+// proxy RDMA) or an NVSHMEM-IBGDA-style GPU-initiated RDMA stack.
+package moe
+
+import (
+	"fmt"
+
+	"mscclpp/internal/core"
+	"mscclpp/internal/machine"
+	"mscclpp/internal/mem"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
+)
+
+// Transport selects the networking stack.
+type Transport string
+
+// Transports.
+const (
+	// TransportMSCCLPP routes cross-GPU traffic through MSCCL++
+	// PortChannels (RDMA driven by the CPU proxy, paper Figure 4).
+	TransportMSCCLPP Transport = "mscclpp"
+	// TransportIBGDA models NVSHMEM's InfiniBand GPUDirect Async: the GPU
+	// posts RDMA work requests directly to the NIC, bypassing the CPU.
+	TransportIBGDA Transport = "nvshmem-ibgda"
+)
+
+// Config describes the expert-parallel layer (DeepSeek-V3 defaults).
+type Config struct {
+	Hidden  int // hidden size (7168)
+	TopK    int // experts per token (8)
+	Experts int // total experts (256)
+}
+
+// DefaultConfig returns the paper's DeepSeek-V3 setting.
+func DefaultConfig() Config {
+	return Config{Hidden: 7168, TopK: 8, Experts: 256}
+}
+
+// Engine is one expert-parallel communicator over a simulated cluster.
+type Engine struct {
+	M    *machine.Machine
+	Cfg  Config
+	mode Transport
+
+	// MSCCL++ transport: pairwise port channels bound to token buffers.
+	send map[int]map[int]*core.PortChannel
+	recv map[int]map[int]*core.PortChannel
+	// IBGDA transport: per-pair semaphores; puts are issued in-kernel.
+	gdaSem  map[int]map[int]*sim.Semaphore
+	gdaExp  map[int]map[int]uint64
+	gdaLast map[int]map[int]sim.Time
+
+	src []*mem.Buffer
+	dst []*mem.Buffer
+}
+
+// maxTokensBytes bounds per-rank communication buffers (65536 tokens total,
+// BF16): tokens/rank * topk * hidden * 2 fits in 512 MB virtual buffers.
+const maxBufBytes = int64(1) << 30
+
+// New builds an engine on env (expects 2 nodes of H100 for the paper
+// setting, but any multi-GPU env works).
+func New(env *topology.Env, cfg Config, mode Transport) (*Engine, error) {
+	if env.TotalGPUs() < 2 {
+		return nil, fmt.Errorf("moe: need at least 2 GPUs")
+	}
+	if cfg.Experts%env.TotalGPUs() != 0 {
+		return nil, fmt.Errorf("moe: %d experts not divisible by %d GPUs", cfg.Experts, env.TotalGPUs())
+	}
+	m := machine.New(env)
+	m.MaterializeLimit = 0 // throughput experiment: timing only
+	e := &Engine{M: m, Cfg: cfg, mode: mode}
+	n := env.TotalGPUs()
+	for r := 0; r < n; r++ {
+		e.src = append(e.src, m.Alloc(r, "moe.src", maxBufBytes))
+		e.dst = append(e.dst, m.Alloc(r, "moe.dst", maxBufBytes))
+	}
+	comm := core.NewCommunicator(m)
+	switch mode {
+	case TransportMSCCLPP:
+		e.send = make(map[int]map[int]*core.PortChannel)
+		e.recv = make(map[int]map[int]*core.PortChannel)
+		for r := 0; r < n; r++ {
+			e.send[r] = make(map[int]*core.PortChannel)
+			e.recv[r] = make(map[int]*core.PortChannel)
+		}
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				ca, cb := comm.NewPortChannelPairEx(a, b, e.src[a], e.dst[b], e.src[b], e.dst[a])
+				e.send[a][b], e.recv[b][a] = ca, cb
+				e.send[b][a], e.recv[a][b] = cb, ca
+			}
+		}
+	case TransportIBGDA:
+		e.gdaSem = make(map[int]map[int]*sim.Semaphore)
+		e.gdaExp = make(map[int]map[int]uint64)
+		e.gdaLast = make(map[int]map[int]sim.Time)
+		for r := 0; r < n; r++ {
+			e.gdaSem[r] = make(map[int]*sim.Semaphore)
+			e.gdaExp[r] = make(map[int]uint64)
+			e.gdaLast[r] = make(map[int]sim.Time)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b {
+					e.gdaSem[a][b] = sim.NewSemaphore(m.Engine, fmt.Sprintf("ibgda/%d->%d", a, b))
+					e.gdaLast[a][b] = 0
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("moe: unknown transport %q", mode)
+	}
+	return e, nil
+}
+
+// ibgdaIssueCost is the in-kernel cost of posting one RDMA work request via
+// IBGDA (doorbell write + WQE build), much cheaper than the proxy path.
+const ibgdaIssueCost = 120
+
+// gdaPut issues a GPU-initiated RDMA/DMA put from rank a to rank b.
+func (e *Engine) gdaPut(k *machine.Kernel, a, b int, bytes int64) {
+	k.Elapse(ibgdaIssueCost)
+	var complete sim.Time
+	if e.M.Fabric.SameNode(a, b) {
+		complete = e.M.Fabric.DMA(k.Now(), a, b, bytes)
+	} else {
+		complete = e.M.Fabric.RDMA(k.Now(), a, b, bytes)
+	}
+	if complete < e.gdaLast[a][b] {
+		complete = e.gdaLast[a][b]
+	}
+	e.gdaLast[a][b] = complete
+	sem := e.gdaSem[a][b]
+	e.M.Engine.At(complete+e.M.Model.SemSignalCost, func() { sem.Add(1) })
+}
+
+// destBytes computes how many bytes rank r sends to each destination for
+// `tokens` total tokens: tokens are split evenly across ranks, each token
+// activates TopK experts spread deterministically (near-uniformly) over all
+// expert GPUs.
+func (e *Engine) destBytes(r int, tokens int, elemBytes int64) []int64 {
+	n := e.M.Env.TotalGPUs()
+	perRank := tokens / n
+	out := make([]int64, n)
+	expertsPerGPU := e.Cfg.Experts / n
+	for t := 0; t < perRank; t++ {
+		for j := 0; j < e.Cfg.TopK; j++ {
+			// Deterministic near-uniform expert choice.
+			expert := (t*e.Cfg.TopK + j*37 + r*11) % e.Cfg.Experts
+			out[expert/expertsPerGPU] += int64(e.Cfg.Hidden) * elemBytes
+		}
+	}
+	return out
+}
+
+// Result reports one dispatch or combine phase.
+type Result struct {
+	Elapsed   sim.Duration
+	BytesMax  int64   // max per-GPU bytes sent to remote/peer GPUs
+	AlgoBWGBs float64 // BytesMax / Elapsed
+}
+
+// run executes one all-to-all phase moving elemBytes per hidden element.
+func (e *Engine) run(tokens int, elemBytes int64, label string) (Result, error) {
+	n := e.M.Env.TotalGPUs()
+	start := e.M.Engine.Now()
+	var maxBytes int64
+	for r := 0; r < n; r++ {
+		r := r
+		dests := e.destBytes(r, tokens, elemBytes)
+		var total int64
+		for p, b := range dests {
+			if p != r {
+				total += b
+			}
+		}
+		if total > maxBytes {
+			maxBytes = total
+		}
+		e.M.GPUs[r].Launch(label, 1, func(k *machine.Kernel) {
+			// Local experts: HBM pass.
+			if dests[r] > 0 {
+				k.LocalCopy(dests[r], 4)
+			}
+			switch e.mode {
+			case TransportMSCCLPP:
+				for p := 0; p < n; p++ {
+					if p == r || dests[p] == 0 {
+						continue
+					}
+					e.send[r][p].PutWithSignal(k, 0, 0, dests[p], 0, 1)
+				}
+				for p := 0; p < n; p++ {
+					if p == r || dests[p] == 0 {
+						continue
+					}
+					e.recv[r][p].Wait(k)
+				}
+			case TransportIBGDA:
+				for p := 0; p < n; p++ {
+					if p == r || dests[p] == 0 {
+						continue
+					}
+					e.gdaPut(k, r, p, dests[p])
+				}
+				for p := 0; p < n; p++ {
+					if p == r || dests[p] == 0 {
+						continue
+					}
+					e.gdaExp[p][r]++
+					e.gdaSem[p][r].WaitGE(k.P, e.gdaExp[p][r])
+					k.Elapse(k.Model().SemWaitWake)
+				}
+			}
+		})
+	}
+	if err := e.M.Run(); err != nil {
+		return Result{}, err
+	}
+	elapsed := e.M.Engine.Now() - start
+	bw := 0.0
+	if elapsed > 0 {
+		bw = float64(maxBytes) / float64(elapsed)
+	}
+	return Result{Elapsed: elapsed, BytesMax: maxBytes, AlgoBWGBs: bw}, nil
+}
+
+// Dispatch routes tokens to experts in FP8 (1 byte/element).
+func (e *Engine) Dispatch(tokens int) (Result, error) {
+	return e.run(tokens, 1, "moe-dispatch")
+}
+
+// Combine returns expert outputs to token owners in BF16 (2 bytes/element).
+func (e *Engine) Combine(tokens int) (Result, error) {
+	return e.run(tokens, 2, "moe-combine")
+}
+
+// Paper13Env returns the Figure 13 environment (two H100 nodes).
+func Paper13Env() *topology.Env { return topology.H100(2) }

@@ -1,0 +1,145 @@
+// Package proxy implements the CPU-side proxy service that drives
+// PortChannel data transfers (paper Figure 4).
+//
+// Each PortChannel owns a proxy Service: a simulated CPU thread that drains
+// a bounded FIFO request queue shared with the GPU. The GPU pushes put /
+// signal / flush requests by writing at the queue head; the CPU thread polls
+// the tail, decodes requests, initiates DMA/RDMA transfers, and completes
+// flushes once all preceding transfers have finished.
+package proxy
+
+import (
+	"fmt"
+
+	"mscclpp/internal/sim"
+)
+
+// Kind discriminates proxy requests.
+type Kind int
+
+const (
+	// KindPut asks the proxy to initiate a data transfer.
+	KindPut Kind = iota
+	// KindSignal asks the proxy to atomically bump the peer's semaphore,
+	// ordered after all previously requested transfers.
+	KindSignal
+	// KindFlush asks the proxy to report (via the flush counter) once all
+	// previously requested transfers have fully completed.
+	KindFlush
+	// KindPutSignal is the fused put_with_signal request: one FIFO element
+	// carrying both a transfer and the trailing semaphore update.
+	KindPutSignal
+	// KindPutSignalFlush additionally completes a flush once the transfer
+	// finishes (put_with_signal_and_flush).
+	KindPutSignalFlush
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindSignal:
+		return "signal"
+	case KindFlush:
+		return "flush"
+	case KindPutSignal:
+		return "put_with_signal"
+	case KindPutSignalFlush:
+		return "put_with_signal_and_flush"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Request is one element of the GPU->CPU FIFO.
+type Request struct {
+	Kind   Kind
+	DstOff int64
+	SrcOff int64
+	Size   int64
+}
+
+// Handler processes one request in proxy-thread context. It may sleep the
+// proxy process (e.g. a flush blocks the proxy until the CQ drains, delaying
+// subsequent requests, exactly as in the paper).
+type Handler func(p *sim.Proc, req Request)
+
+// Config carries the cost-model constants the service charges.
+type Config struct {
+	Capacity   int          // FIFO slots; GPU pushes block when full
+	PushCost   sim.Duration // GPU-side cost to write an element + bump head
+	PollDelay  sim.Duration // CPU delay to notice a request on an idle queue
+	HandleCost sim.Duration // CPU cost to decode + initiate one request
+}
+
+// Service is one proxy thread plus its FIFO.
+type Service struct {
+	name    string
+	e       *sim.Engine
+	cfg     Config
+	handler Handler
+
+	queue    []Request
+	notEmpty *sim.Cond
+	notFull  *sim.Cond
+
+	// stats
+	pushed  uint64
+	handled uint64
+}
+
+// NewService spawns the proxy thread (a daemon process) and returns the
+// service handle.
+func NewService(e *sim.Engine, name string, cfg Config, h Handler) *Service {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 128
+	}
+	s := &Service{
+		name:     name,
+		e:        e,
+		cfg:      cfg,
+		handler:  h,
+		notEmpty: sim.NewCond(e),
+		notFull:  sim.NewCond(e),
+	}
+	p := e.Spawn("proxy/"+name, s.run)
+	p.SetDaemon(true)
+	return s
+}
+
+// Push appends a request from GPU context, blocking the calling thread block
+// while the FIFO is full (the GPU checks head-tail distance before writing).
+func (s *Service) Push(p *sim.Proc, req Request) {
+	p.Wait(s.notFull, "proxy fifo full "+s.name, func() bool {
+		return len(s.queue) < s.cfg.Capacity
+	})
+	p.Sleep(s.cfg.PushCost)
+	s.queue = append(s.queue, req)
+	s.pushed++
+	s.notEmpty.Broadcast()
+}
+
+// Pending returns the number of queued requests (diagnostics).
+func (s *Service) Pending() int { return len(s.queue) }
+
+// Handled returns the number of requests processed so far.
+func (s *Service) Handled() uint64 { return s.handled }
+
+func (s *Service) run(p *sim.Proc) {
+	for {
+		if len(s.queue) == 0 {
+			p.Wait(s.notEmpty, "proxy idle "+s.name, func() bool {
+				return len(s.queue) > 0
+			})
+			// The queue was idle: charge the polling-granularity delay
+			// before the CPU notices the new head value over PCIe.
+			p.Sleep(s.cfg.PollDelay)
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.notFull.Broadcast()
+		p.Sleep(s.cfg.HandleCost)
+		s.handler(p, req)
+		s.handled++
+	}
+}

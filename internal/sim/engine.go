@@ -1,0 +1,189 @@
+// Package sim implements a deterministic discrete-event simulator used as the
+// execution substrate for the simulated GPU cluster.
+//
+// The engine runs a set of cooperating processes (Proc) over a virtual clock.
+// Exactly one process runs at a time; processes yield to the engine whenever
+// they block (Sleep, condition wait, ...), and the engine advances the clock
+// to the next scheduled event. Event ordering is total and deterministic:
+// events are ordered by (time, sequence number), so a simulation always
+// replays identically.
+//
+// Concurrency discipline: although each Proc is backed by a goroutine, the
+// engine enforces mutual exclusion through explicit hand-off channels, so all
+// simulation state may be accessed without locks. All engine methods must be
+// called either from the currently running Proc or from an event callback.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time = int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000
+	Millisecond Duration = 1000 * 1000
+	Second      Duration = 1000 * 1000 * 1000
+)
+
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulation kernel.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	parked chan struct{} // signaled by a Proc when it parks or finishes
+	live   map[*Proc]struct{}
+	nextID int
+
+	// stats
+	eventsRun  uint64
+	procsTotal int
+}
+
+// NewEngine returns a fresh engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		parked: make(chan struct{}),
+		live:   make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsRun returns the number of events executed so far (for tests/metrics).
+func (e *Engine) EventsRun() uint64 { return e.eventsRun }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the current time (the event still runs after all currently
+// pending work at that timestamp, preserving determinism).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Spawn creates a new process running fn and schedules it to start at the
+// current virtual time. It may be called before Run or from inside a running
+// process or event callback.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	e.nextID++
+	e.procsTotal++
+	p := &Proc{
+		e:      e,
+		Name:   name,
+		ID:     e.nextID,
+		resume: make(chan struct{}),
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.state = procDone
+		delete(e.live, p)
+		e.parked <- struct{}{}
+	}()
+	e.At(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch resumes p and blocks until p parks again or finishes. It must run
+// in the engine's event loop context.
+func (e *Engine) dispatch(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	p.resume <- struct{}{}
+	<-e.parked
+}
+
+// DeadlockError reports processes that were still blocked when the event
+// queue drained.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // "name (reason)" for each blocked process
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%dns: %d process(es) blocked: %s",
+		d.Now, len(d.Blocked), strings.Join(d.Blocked, "; "))
+}
+
+// Run executes events until the queue is empty. If live processes remain
+// blocked afterwards, Run returns a *DeadlockError naming them.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		e.eventsRun++
+		ev.fn()
+	}
+	var blocked []string
+	for p := range e.live {
+		if p.daemon {
+			continue
+		}
+		blocked = append(blocked, fmt.Sprintf("%s (%s)", p.Name, p.waitReason))
+	}
+	if len(blocked) > 0 {
+		sort.Strings(blocked)
+		return &DeadlockError{Now: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns true if
+// the queue drained (all work done), false if events remain past the
+// deadline.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.events) > 0 && e.events[0].t <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		e.eventsRun++
+		ev.fn()
+	}
+	return len(e.events) == 0
+}

@@ -1,0 +1,159 @@
+package sim
+
+type procState int
+
+const (
+	procNew procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated process: a goroutine whose execution is serialized by
+// the engine and whose blocking operations consume virtual rather than real
+// time. Thread blocks, CPU proxy threads, NIC completion handlers and
+// workload drivers are all Procs.
+type Proc struct {
+	e          *Engine
+	Name       string
+	ID         int
+	resume     chan struct{}
+	state      procState
+	waitReason string
+	daemon     bool
+}
+
+// SetDaemon marks the process as a background service (e.g. a CPU proxy
+// thread) that is expected to remain blocked when the simulation drains;
+// daemons are excluded from deadlock detection.
+func (p *Proc) SetDaemon(on bool) { p.daemon = on }
+
+// Engine returns the engine this process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.e.now }
+
+// park yields control to the engine until the process is dispatched again.
+func (p *Proc) park(reason string) {
+	p.state = procParked
+	p.waitReason = reason
+	p.e.parked <- struct{}{}
+	<-p.resume
+	p.waitReason = ""
+}
+
+// Sleep blocks the process for d nanoseconds of virtual time. Negative or
+// zero durations yield to other work scheduled at the current instant.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.e.now + d)
+}
+
+// SleepUntil blocks the process until virtual time t (or now, if t is in the
+// past).
+func (p *Proc) SleepUntil(t Time) {
+	e := p.e
+	e.At(t, func() { e.dispatch(p) })
+	p.park("sleep")
+}
+
+// Yield lets any other work scheduled at the current instant run before the
+// process continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Wait blocks the process on cond until pred() is true. The predicate is
+// evaluated immediately, and re-evaluated whenever the condition is
+// broadcast. reason is reported in deadlock diagnostics.
+func (p *Proc) Wait(c *Cond, reason string, pred func() bool) {
+	if pred() {
+		return
+	}
+	c.waiters = append(c.waiters, condWaiter{p: p, pred: pred})
+	p.park(reason)
+}
+
+// Cond is a condition variable for simulated processes. Waiters supply a
+// predicate; Broadcast wakes every waiter whose predicate has become true.
+type Cond struct {
+	e       *Engine
+	waiters []condWaiter
+	pending bool
+}
+
+type condWaiter struct {
+	p    *Proc
+	pred func() bool
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{e: e} }
+
+// Broadcast schedules a re-check of all waiter predicates at the current
+// virtual time. Waiters whose predicates hold are resumed in FIFO order.
+// Safe to call from processes or event callbacks.
+func (c *Cond) Broadcast() {
+	if c.pending || len(c.waiters) == 0 {
+		return
+	}
+	c.pending = true
+	c.e.At(c.e.now, c.recheck)
+}
+
+func (c *Cond) recheck() {
+	c.pending = false
+	// Dispatching a waiter can change state that satisfies further waiters,
+	// so iterate until a full pass wakes nobody.
+	for {
+		woke := false
+		for i := 0; i < len(c.waiters); i++ {
+			w := c.waiters[i]
+			if w.pred() {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				i--
+				c.e.dispatch(w.p)
+				woke = true
+			}
+		}
+		if !woke {
+			return
+		}
+	}
+}
+
+// Waiters returns the number of processes currently blocked on the condition.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// WaitGroup tracks completion of a set of processes or operations in virtual
+// time.
+type WaitGroup struct {
+	cond  *Cond
+	count int
+}
+
+// NewWaitGroup returns a WaitGroup bound to e.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{cond: NewCond(e)} }
+
+// Add increments the outstanding-operation count.
+func (w *WaitGroup) Add(n int) { w.count += n }
+
+// Done decrements the count and wakes waiters when it reaches zero.
+func (w *WaitGroup) Done() {
+	w.count--
+	if w.count < 0 {
+		panic("sim: WaitGroup counter went negative")
+	}
+	if w.count == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Count returns the number of outstanding operations.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait blocks p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	p.Wait(w.cond, "waitgroup", func() bool { return w.count == 0 })
+}

@@ -1,0 +1,81 @@
+package sim
+
+// Semaphore is a monotonically increasing counter with blocking waits, the
+// simulated analogue of the GPU-memory semaphores MSCCL++ channels
+// synchronize on. Signal-side code atomically increments the value; wait-side
+// code busy-waits (in virtual time) until the value reaches an expected
+// threshold.
+type Semaphore struct {
+	Name string
+	cond *Cond
+	val  uint64
+}
+
+// NewSemaphore returns a semaphore with value zero.
+func NewSemaphore(e *Engine, name string) *Semaphore {
+	return &Semaphore{Name: name, cond: NewCond(e)}
+}
+
+// Value returns the current counter value.
+func (s *Semaphore) Value() uint64 { return s.val }
+
+// Add atomically increments the counter by delta and wakes satisfied waiters.
+// Safe to call from processes or event callbacks (e.g. NIC completion).
+func (s *Semaphore) Add(delta uint64) {
+	s.val += delta
+	s.cond.Broadcast()
+}
+
+// WaitGE blocks p until the counter value is >= target.
+func (s *Semaphore) WaitGE(p *Proc, target uint64) {
+	p.Wait(s.cond, "semaphore "+s.Name, func() bool { return s.val >= target })
+}
+
+// Resource models a serially reusable hardware unit (a link port, a DMA
+// engine, a NIC send queue, a switch reduction pipeline). Work items are
+// granted exclusive occupancy in FIFO order: a reservation of length dur
+// begins when the resource frees up and pushes the free time forward.
+//
+// This is the standard "store-and-forward pipe" contention model: concurrent
+// users serialize, which for fixed total bytes is time-equivalent to fair
+// bandwidth sharing on a single link.
+type Resource struct {
+	Name   string
+	freeAt Time
+
+	// stats
+	busy     Duration
+	reserves uint64
+}
+
+// NewResource returns an idle resource.
+func NewResource(name string) *Resource { return &Resource{Name: name} }
+
+// Reserve books the resource for dur nanoseconds starting no earlier than
+// now, returning the start and end of the granted occupancy.
+func (r *Resource) Reserve(now Time, dur Duration) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	start = now
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	r.reserves++
+	return start, end
+}
+
+// FreeAt returns the time at which the resource next becomes idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// BusyTime returns the cumulative reserved time (for utilization metrics).
+func (r *Resource) BusyTime() Duration { return r.busy }
+
+// Reservations returns the number of reservations made.
+func (r *Resource) Reservations() uint64 { return r.reserves }
+
+// Reset returns the resource to idle at time zero, clearing statistics.
+func (r *Resource) Reset() { r.freeAt = 0; r.busy = 0; r.reserves = 0 }

@@ -1,0 +1,199 @@
+// Package topology describes the simulated cluster environments used in the
+// paper's evaluation (Table 2): node counts, GPUs per node, intra-node
+// interconnect style and raw link characteristics.
+//
+// Bandwidths are expressed in bytes per nanosecond, which is numerically
+// equal to GB/s (1 GB/s = 1e9 B / 1e9 ns). Latencies are nanoseconds.
+package topology
+
+import "fmt"
+
+// LinkKind identifies an interconnect technology.
+type LinkKind int
+
+const (
+	// LinkNVLink is an NVIDIA NVLink connection through an NVSwitch.
+	LinkNVLink LinkKind = iota
+	// LinkXGMI is an AMD Infinity Fabric (xGMI) direct peer-to-peer mesh.
+	LinkXGMI
+	// LinkIB is an InfiniBand RDMA connection through a network switch.
+	LinkIB
+)
+
+func (k LinkKind) String() string {
+	switch k {
+	case LinkNVLink:
+		return "NVLink"
+	case LinkXGMI:
+		return "xGMI"
+	case LinkIB:
+		return "InfiniBand"
+	default:
+		return fmt.Sprintf("LinkKind(%d)", int(k))
+	}
+}
+
+// Env describes one evaluation environment (one row of paper Table 2).
+type Env struct {
+	Name        string
+	Nodes       int
+	GPUsPerNode int
+
+	// IntraMesh is true when intra-node GPUs are connected point-to-point
+	// (xGMI on MI300x) rather than through a central switch (NVSwitch).
+	// On a mesh, per-peer bandwidth is IntraBW/(GPUsPerNode-1) and best link
+	// utilization requires spraying data to all peers concurrently (§7.2).
+	IntraMesh bool
+
+	// HasMulticast is true when the intra-node switch supports in-network
+	// aggregation/multicast (NVLink SHARP on H100 NVSwitch), enabling
+	// SwitchChannel.
+	HasMulticast bool
+
+	// IntraBW is the per-GPU, per-direction aggregate intra-node bandwidth
+	// (bytes/ns == GB/s) achievable by peer-to-peer transfers.
+	IntraBW float64
+	// IntraLat is the one-way peer-to-peer latency over the intra-node link
+	// (visibility latency of a remote store), ns.
+	IntraLat int64
+
+	// DMABW is the bandwidth achievable by the DMA-copy engines
+	// (cudaMemcpy path used by intra-node PortChannel). Usually slightly
+	// above the thread-copy path since it bypasses SM load/store limits.
+	DMABW float64
+	// DMALat is the additional initiation latency of a DMA engine transfer.
+	DMALat int64
+
+	// SwitchBW is the effective bandwidth of switch-side reduction/multicast
+	// (multimem.ld_reduce / multimem.st), bytes/ns. Zero when HasMulticast
+	// is false.
+	SwitchBW float64
+	// SwitchLat is the added latency of a switch-mapped operation, ns.
+	SwitchLat int64
+
+	// IBBW is the per-GPU NIC bandwidth (bytes/ns). One NIC per GPU.
+	IBBW float64
+	// IBLat is the one-way RDMA write latency (wire + NIC processing), ns.
+	IBLat int64
+
+	// GPUClockGHz and SMs parameterize the compute-side roofline used by the
+	// inference workload model.
+	HBMBW      float64 // device memory bandwidth, bytes/ns
+	PeakTFLOPS float64 // dense BF16/FP16 tensor throughput
+}
+
+// TotalGPUs returns Nodes*GPUsPerNode.
+func (e *Env) TotalGPUs() int { return e.Nodes * e.GPUsPerNode }
+
+// PeerBW returns the achievable bandwidth between two distinct intra-node
+// peers when only that single flow is active.
+func (e *Env) PeerBW() float64 {
+	if e.IntraMesh {
+		return e.IntraBW / float64(e.GPUsPerNode-1)
+	}
+	return e.IntraBW
+}
+
+// Validate checks internal consistency.
+func (e *Env) Validate() error {
+	switch {
+	case e.Nodes < 1:
+		return fmt.Errorf("topology %s: Nodes = %d", e.Name, e.Nodes)
+	case e.GPUsPerNode < 1:
+		return fmt.Errorf("topology %s: GPUsPerNode = %d", e.Name, e.GPUsPerNode)
+	case e.IntraBW <= 0 || e.IntraLat <= 0:
+		return fmt.Errorf("topology %s: intra-node link unspecified", e.Name)
+	case e.Nodes > 1 && (e.IBBW <= 0 || e.IBLat <= 0):
+		return fmt.Errorf("topology %s: multi-node without IB parameters", e.Name)
+	case e.HasMulticast && e.SwitchBW <= 0:
+		return fmt.Errorf("topology %s: multicast without switch bandwidth", e.Name)
+	}
+	return nil
+}
+
+// The four evaluation environments from Table 2. Link constants are
+// calibrated against paper Table 1 (H100 NVLink 397.5 GB/s / 822 ns,
+// InfiniBand 48.94 GB/s / 3.76 us) and public nvbandwidth/perftest figures
+// for the other platforms.
+
+// A100_40G returns the "A100-40G" environment: 8x NVIDIA A100 40G per node,
+// NVLink 3.0 via NVSwitch, HDR InfiniBand (200 Gb/s, 25 GB/s per NIC).
+func A100_40G(nodes int) *Env {
+	return &Env{
+		Name:        "A100-40G",
+		Nodes:       nodes,
+		GPUsPerNode: 8,
+		IntraBW:     270.0,
+		IntraLat:    1100,
+		DMABW:       268.0,
+		DMALat:      1500,
+		IBBW:        24.6,
+		IBLat:       3900,
+		HBMBW:       1555.0,
+		PeakTFLOPS:  312.0,
+	}
+}
+
+// A100_80G returns the "A100-80G" environment (same fabric as A100-40G,
+// larger HBM and slightly higher memory bandwidth).
+func A100_80G(nodes int) *Env {
+	e := A100_40G(nodes)
+	e.Name = "A100-80G"
+	e.HBMBW = 2039.0
+	return e
+}
+
+// H100 returns the "H100" environment: 8x H100 per node, NVLink 4.0 with
+// NVSwitch SHARP (multimem), NDR InfiniBand (400 Gb/s).
+func H100(nodes int) *Env {
+	return &Env{
+		Name:         "H100",
+		Nodes:        nodes,
+		GPUsPerNode:  8,
+		HasMulticast: true,
+		IntraBW:      400.0,
+		IntraLat:     822,
+		DMABW:        397.5,
+		DMALat:       1300,
+		SwitchBW:     310.0,
+		SwitchLat:    350,
+		IBBW:         48.94,
+		IBLat:        3760,
+		HBMBW:        3350.0,
+		PeakTFLOPS:   989.0,
+	}
+}
+
+// MI300x returns the "MI300x" environment: 8x AMD MI300X per node, Infinity
+// Fabric (xGMI) all-to-all mesh, NDR InfiniBand.
+func MI300x(nodes int) *Env {
+	return &Env{
+		Name:        "MI300x",
+		Nodes:       nodes,
+		GPUsPerNode: 8,
+		IntraMesh:   true,
+		IntraBW:     350.0, // 7 xGMI links x 50 GB/s
+		IntraLat:    1400,
+		DMABW:       340.0,
+		DMALat:      1800,
+		IBBW:        48.94,
+		IBLat:       3760,
+		HBMBW:       5300.0,
+		PeakTFLOPS:  1307.0,
+	}
+}
+
+// ByName returns the environment constructor matching a Table 2 name.
+func ByName(name string, nodes int) (*Env, error) {
+	switch name {
+	case "A100-40G", "a100-40g", "a100":
+		return A100_40G(nodes), nil
+	case "A100-80G", "a100-80g":
+		return A100_80G(nodes), nil
+	case "H100", "h100":
+		return H100(nodes), nil
+	case "MI300x", "mi300x", "MI300X":
+		return MI300x(nodes), nil
+	}
+	return nil, fmt.Errorf("topology: unknown environment %q", name)
+}

@@ -1,0 +1,73 @@
+package mscclpp
+
+import "testing"
+
+// TestPublicAPIEndToEnd exercises the facade: cluster construction, the
+// one-call Collective API with verification, and DSL authoring -> lowering
+// -> execution, all through exported identifiers only.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cluster := NewCluster(A100x40G(1))
+	cluster.MaterializeLimit = 1 << 40
+	comm := NewComm(cluster)
+	const size = int64(8 << 10)
+	n := comm.Ranks()
+	in := make([]*Buffer, n)
+	out := make([]*Buffer, n)
+	for r := 0; r < n; r++ {
+		in[r] = cluster.Alloc(r, "in", size)
+		out[r] = cluster.Alloc(r, "out", size)
+	}
+	pattern := func(r int, i int64) float32 { return float32(r+1) + float32(i%4) }
+	FillInputs(in, pattern)
+	elapsed, err := comm.AllReduce(in, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatalf("elapsed %d", elapsed)
+	}
+	if err := CheckAllReduce(out, pattern, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+
+	// DSL path through the facade.
+	prog, err := BuildAllReduce1PA(8, size, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := prog.Lower()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCluster(A100x40G(1))
+	c2.MaterializeLimit = 1 << 40
+	in2 := make([]*Buffer, 8)
+	out2 := make([]*Buffer, 8)
+	for r := 0; r < 8; r++ {
+		in2[r] = c2.Alloc(r, "in", size)
+		out2[r] = c2.Alloc(r, "out", size)
+	}
+	FillInputs(in2, pattern)
+	inst, err := NewExecutor(NewCommunicator(c2), pl, in2, out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Launch()
+	if err := c2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAllReduce(out2, pattern, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvironmentsValid(t *testing.T) {
+	for _, env := range []*Env{A100x40G(1), A100x80G(2), H100(4), MI300x(1)} {
+		if err := env.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if env.TotalGPUs()%8 != 0 {
+			t.Fatalf("%s: %d GPUs", env.Name, env.TotalGPUs())
+		}
+	}
+}
