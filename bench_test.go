@@ -4,8 +4,25 @@
 // microseconds or bandwidth in GB/s) as custom metrics; the Go ns/op number
 // is simulator wall time and is not a result.
 //
+// Virtual time vs wall clock: the simulated metrics (us@..., GBps@...) are
+// deterministic properties of the modeled hardware — they never change with
+// the machine running the benchmark, the -benchtime setting, or engine
+// optimizations (any refactor of internal/sim must keep them bit-identical).
+// Wall-clock numbers (ns/op here, and events/sec in the internal/sim suite)
+// measure the simulator substrate itself and bound how many scenarios a
+// sweep can cover per core-hour.
+//
+// The substrate has its own microbenchmark suite (event throughput,
+// park/dispatch latency, condition-broadcast storms):
+//
+//	go test ./internal/sim -bench=BenchmarkEngine -benchmem
+//
+// with tracked before/after numbers in BENCH_sim.json.
+//
 // For full sweeps and paper-style tables use cmd/collbench, cmd/inferbench
-// and cmd/deepepbench.
+// and cmd/deepepbench; their independent simulations fan out across
+// GOMAXPROCS-bounded workers (see benchkit.Parallel) with byte-identical
+// output to a sequential run.
 package mscclpp
 
 import (

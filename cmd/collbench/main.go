@@ -84,6 +84,10 @@ func singleNodeFigure(title string, env *topology.Env, libs libFns) error {
 	return renderPanels(title, env, libs)
 }
 
+// renderPanels sweeps every (library, size) configuration of one panel
+// pair. Each Sweep call fans its per-size simulations out across the worker
+// pool (see benchkit.Sweep); results land in index-stable slots, keeping
+// the printed tables byte-identical to a sequential run.
 func renderPanels(label string, env *topology.Env, libs libFns) error {
 	var small, large []benchkit.Series
 	for i, fn := range libs.fns {

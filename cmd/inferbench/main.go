@@ -15,6 +15,7 @@ import (
 
 	"mscclpp/internal/benchkit"
 	"mscclpp/internal/inference"
+	"mscclpp/internal/sim"
 	"mscclpp/internal/topology"
 )
 
@@ -40,16 +41,28 @@ func fig11() {
 	mpp := inference.NewARTimer(envFn, inference.LibMSCCLPP)
 	fmt.Println("\nFigure 11: Llama3-70b decode speedup, MSCCL++ over NCCL (vLLM, TP=8, A100-80G)")
 	fmt.Printf("  %-18s %12s %12s %9s\n", "bsz x seqlen", "NCCL (ms)", "MSCCL++ (ms)", "speedup")
-	var speedups []float64
+	// The (bsz, seqlen) grid points are independent simulations: fan them
+	// out and print from index-stable slots so output order is unchanged.
+	type combo struct{ bsz, seqlen int }
+	var combos []combo
 	for _, bsz := range []int{1, 2, 4, 8, 16, 32, 64} {
 		for _, seqlen := range []int{128, 512, 2048} {
-			tN := inference.DecodeStep(env, model, bsz, seqlen, nccl.Time)
-			tM := inference.DecodeStep(env, model, bsz, seqlen, mpp.Time)
-			sp := inference.Speedup(tN, tM)
-			speedups = append(speedups, sp)
-			fmt.Printf("  bsz=%-4d seq=%-6d %12.2f %12.2f %8.2fx\n",
-				bsz, seqlen, float64(tN)/1e6, float64(tM)/1e6, sp)
+			combos = append(combos, combo{bsz, seqlen})
 		}
+	}
+	times := make([][2]sim.Duration, len(combos))
+	benchkit.Parallel(len(combos), func(i int) {
+		c := combos[i]
+		times[i][0] = inference.DecodeStep(env, model, c.bsz, c.seqlen, nccl.Time)
+		times[i][1] = inference.DecodeStep(env, model, c.bsz, c.seqlen, mpp.Time)
+	})
+	var speedups []float64
+	for i, c := range combos {
+		tN, tM := times[i][0], times[i][1]
+		sp := inference.Speedup(tN, tM)
+		speedups = append(speedups, sp)
+		fmt.Printf("  bsz=%-4d seq=%-6d %12.2f %12.2f %8.2fx\n",
+			c.bsz, c.seqlen, float64(tN)/1e6, float64(tM)/1e6, sp)
 	}
 	fmt.Printf("  average decode speedup: %.2fx (paper: 1.11x)\n", benchkit.Geomean(speedups))
 	// Prefill comparison (paper: similar or up to 1.06x).
@@ -67,10 +80,15 @@ func fig12() {
 	mpp := inference.NewARTimer(envFn, inference.LibMSCCLPP)
 	fmt.Println("\nFigure 12: DeepSeek-V3 decode throughput (SGLang, TP=16, 2x H100 nodes, 1024 in / 1024 out)")
 	fmt.Printf("  %-6s %16s %16s %9s\n", "bsz", "baseline tok/s", "MSCCL++ tok/s", "speedup")
+	bszs := []int{1, 2, 4, 8, 16, 32, 64}
+	times := make([][2]sim.Duration, len(bszs))
+	benchkit.Parallel(len(bszs), func(i int) {
+		times[i][0] = inference.DecodeStep(env, model, bszs[i], 1024, nccl.Time)
+		times[i][1] = inference.DecodeStep(env, model, bszs[i], 1024, mpp.Time)
+	})
 	var speedups []float64
-	for _, bsz := range []int{1, 2, 4, 8, 16, 32, 64} {
-		tN := inference.DecodeStep(env, model, bsz, 1024, nccl.Time)
-		tM := inference.DecodeStep(env, model, bsz, 1024, mpp.Time)
+	for i, bsz := range bszs {
+		tN, tM := times[i][0], times[i][1]
 		sp := inference.Speedup(tN, tM)
 		speedups = append(speedups, sp)
 		fmt.Printf("  %-6d %16.0f %16.0f %8.2fx\n", bsz,
@@ -84,9 +102,14 @@ func customAR() {
 	custom := inference.NewARTimer(envFn, inference.LibVLLMCustom)
 	mpp := inference.NewARTimer(envFn, inference.LibMSCCLPP)
 	fmt.Println("\nvLLM custom AllReduce kernel vs MSCCL++ (A100-80G, TP=8)")
+	msgs := []int64{2 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} // vLLM uses its custom kernel only for small inputs
+	times := make([][2]sim.Duration, len(msgs))
+	benchkit.Parallel(len(msgs), func(i int) {
+		times[i][0], times[i][1] = custom.Time(msgs[i]), mpp.Time(msgs[i])
+	})
 	var ratios []float64
-	for _, msg := range []int64{2 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} { // vLLM uses its custom kernel only for small inputs
-		tc, tm := custom.Time(msg), mpp.Time(msg)
+	for i, msg := range msgs {
+		tc, tm := times[i][0], times[i][1]
 		r := inference.Speedup(tc, tm)
 		ratios = append(ratios, r)
 		fmt.Printf("  msg %-6s custom %8.2fus  MSCCL++ %8.2fus  ratio %.2fx\n",

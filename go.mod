@@ -1,0 +1,3 @@
+module mscclpp
+
+go 1.24

@@ -7,8 +7,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"mscclpp/internal/baseline/mscclsim"
 	"mscclpp/internal/baseline/ncclsim"
@@ -65,15 +68,65 @@ type Series struct {
 // MeasureFn times one library's collective at one size.
 type MeasureFn func(env *topology.Env, size int64) (sim.Duration, string, error)
 
-// Sweep measures sizes with fn.
-func Sweep(env *topology.Env, name string, sizes []int64, fn MeasureFn) (Series, error) {
-	s := Series{Name: name}
-	for _, size := range sizes {
-		d, algo, err := fn(env, size)
-		if err != nil {
-			return s, fmt.Errorf("%s at %d: %w", name, size, err)
+// MaxParallel bounds the number of simulations Parallel runs concurrently.
+// Each simulation owns its engine (and machine, fabric, buffers), so sweeps
+// over independent configurations are embarrassingly parallel. Set to 1 to
+// force sequential execution (e.g. when bisecting a nondeterminism report).
+var MaxParallel = runtime.GOMAXPROCS(0)
+
+// Parallel runs jobs 0..n-1 on a MaxParallel-bounded worker pool and waits
+// for all of them. Jobs must be independent; each receives its index, so
+// callers write results into index-stable slots and output ordering is
+// unchanged from a sequential run. Do not nest Parallel calls.
+func Parallel(n int, job func(i int)) {
+	workers := MaxParallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
 		}
-		s.Points = append(s.Points, Point{Size: size, Dur: d, Algo: algo})
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Sweep measures sizes with fn, fanning the per-size simulations out across
+// the worker pool. Every simulation is deterministic and owns its machine,
+// so results (and their order) are identical to a sequential sweep; only
+// wall-clock time changes. On error the first failing size (in size order)
+// is reported.
+func Sweep(env *topology.Env, name string, sizes []int64, fn MeasureFn) (Series, error) {
+	s := Series{Name: name, Points: make([]Point, len(sizes))}
+	errs := make([]error, len(sizes))
+	Parallel(len(sizes), func(i int) {
+		d, algo, err := fn(env, sizes[i])
+		if err != nil {
+			errs[i] = fmt.Errorf("%s at %d: %w", name, sizes[i], err)
+			return
+		}
+		s.Points[i] = Point{Size: sizes[i], Dur: d, Algo: algo}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return Series{Name: name, Points: s.Points[:i]}, err
+		}
 	}
 	return s, nil
 }

@@ -1,0 +1,67 @@
+package benchkit
+
+import (
+	"reflect"
+	"testing"
+
+	"mscclpp/internal/topology"
+)
+
+// TestSweepParallelMatchesSequential pins the parallel-harness contract:
+// fanning a sweep across workers changes wall-clock time only — every
+// per-configuration result (duration, winning algorithm, ordering) is
+// identical to a sequential run.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	env := topology.A100_40G(1)
+	sizes := []int64{1 << 10, 8 << 10, 64 << 10, 512 << 10}
+	old := MaxParallel
+	defer func() { MaxParallel = old }()
+
+	MaxParallel = 1
+	seq, err := Sweep(env, "mscclpp", sizes, MSCCLPPAllReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	MaxParallel = 4
+	par, err := Sweep(env, "mscclpp", sizes, MSCCLPPAllReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel sweep diverged:\nseq %+v\npar %+v", seq, par)
+	}
+}
+
+func TestParallelCoversAllIndices(t *testing.T) {
+	old := MaxParallel
+	defer func() { MaxParallel = old }()
+	for _, workers := range []int{1, 3, 8} {
+		MaxParallel = workers
+		const n = 100
+		hits := make([]int32, n)
+		Parallel(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean(nil); g != 0 {
+		t.Fatalf("geomean(nil) = %v, want 0", g)
+	}
+}
+
+func TestHumanSize(t *testing.T) {
+	cases := map[int64]string{1 << 10: "1K", 2 << 20: "2M", 1 << 30: "1G", 1000: "1000"}
+	for n, want := range cases {
+		if got := HumanSize(n); got != want {
+			t.Fatalf("HumanSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

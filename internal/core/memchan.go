@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"mscclpp/internal/machine"
 	"mscclpp/internal/mem"
@@ -30,21 +31,34 @@ func (p Protocol) String() string {
 }
 
 // llState tracks LL-protocol packet arrival for one channel direction:
-// cumulative bytes whose flags have become visible, per flag value.
+// cumulative bytes whose flags have become visible, per flag value. Most
+// algorithm steps use a single live flag, so the first flag is cached
+// inline; the rare additional flags live in a small linear-scanned slice
+// (flag populations are tiny — one per algorithm step).
 type llState struct {
-	e        *sim.Engine
-	name     string
-	progress map[uint64]*sim.Semaphore
+	e     *sim.Engine
+	name  string
+	flag0 uint64
+	sem0  *sim.Semaphore
+	flags []uint64
+	sems  []*sim.Semaphore
 }
 
 func (s *llState) sem(flag uint64) *sim.Semaphore {
-	if s.progress == nil {
-		s.progress = make(map[uint64]*sim.Semaphore)
+	if s.sem0 != nil && s.flag0 == flag {
+		return s.sem0
 	}
-	sem, ok := s.progress[flag]
-	if !ok {
-		sem = sim.NewSemaphore(s.e, fmt.Sprintf("%s/flag%d", s.name, flag))
-		s.progress[flag] = sem
+	for i, f := range s.flags {
+		if f == flag {
+			return s.sems[i]
+		}
+	}
+	sem := sim.NewSemaphore(s.e, s.name+"/flag"+strconv.FormatUint(flag, 10))
+	if s.sem0 == nil {
+		s.flag0, s.sem0 = flag, sem
+	} else {
+		s.flags = append(s.flags, flag)
+		s.sems = append(s.sems, sem)
 	}
 	return sem
 }
@@ -85,11 +99,11 @@ func (c *Communicator) NewMemoryChannelPairEx(a, b int, aSrc, aDst, bSrc, bDst *
 	validateEndpoint(c.M, a, b, aSrc, bSrc)
 	validateEndpoint(c.M, a, b, bDst, aDst)
 	e := c.M.Engine
-	id := c.id()
-	semAB := sim.NewSemaphore(e, fmt.Sprintf("mc%d/%d->%d", id, a, b))
-	semBA := sim.NewSemaphore(e, fmt.Sprintf("mc%d/%d->%d", id, b, a))
-	llAB := &llState{e: e, name: fmt.Sprintf("mc%d/ll/%d->%d", id, a, b)}
-	llBA := &llState{e: e, name: fmt.Sprintf("mc%d/ll/%d->%d", id, b, a)}
+	id, as, bs := strconv.Itoa(c.id()), strconv.Itoa(a), strconv.Itoa(b)
+	semAB := sim.NewSemaphore(e, "mc"+id+"/"+as+"->"+bs)
+	semBA := sim.NewSemaphore(e, "mc"+id+"/"+bs+"->"+as)
+	llAB := &llState{e: e, name: "mc" + id + "/ll/" + as + "->" + bs}
+	llBA := &llState{e: e, name: "mc" + id + "/ll/" + bs + "->" + as}
 	ca := &MemoryChannel{comm: c, local: a, remote: b, localBuf: aSrc, remoteBuf: aDst,
 		sendSem: semAB, recvSem: semBA, sendLL: llAB, recvLL: llBA}
 	cb := &MemoryChannel{comm: c, local: b, remote: a, localBuf: bSrc, remoteBuf: bDst,
@@ -227,8 +241,7 @@ func (ch *MemoryChannel) Signal(k *machine.Kernel) {
 	arrive := maxTime(k.Now()+lat, ch.lastVisible+model.SemSignalCost)
 	arrive = maxTime(arrive, ch.lastSignal+1)
 	ch.lastSignal = arrive
-	sem := ch.sendSem
-	k.Machine().Engine.At(arrive, func() { sem.Add(1) })
+	ch.sendSem.AddAt(arrive, 1)
 }
 
 // Wait blocks until the local semaphore reaches the next expected value
@@ -266,8 +279,7 @@ func (ch *MemoryChannel) PutWithSignal(k *machine.Kernel, dstOff, srcOff, size i
 	arrive := maxTime(k.Now()+lat, ch.lastVisible+model.SemSignalCost)
 	arrive = maxTime(arrive, ch.lastSignal+1)
 	ch.lastSignal = arrive
-	sem := ch.sendSem
-	k.Machine().Engine.At(arrive, func() { sem.Add(1) })
+	ch.sendSem.AddAt(arrive, 1)
 }
 
 // Reduce reads size bytes of the peer's bound buffer at srcOff and

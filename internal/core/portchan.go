@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"mscclpp/internal/machine"
 	"mscclpp/internal/mem"
@@ -52,17 +53,17 @@ func (c *Communicator) NewPortChannelPairEx(a, b int, aSrc, aDst, bSrc, bDst *me
 	validateEndpoint(c.M, a, b, aSrc, bSrc)
 	validateEndpoint(c.M, a, b, bDst, aDst)
 	e := c.M.Engine
-	id := c.id()
-	semAB := sim.NewSemaphore(e, fmt.Sprintf("pc%d/%d->%d", id, a, b))
-	semBA := sim.NewSemaphore(e, fmt.Sprintf("pc%d/%d->%d", id, b, a))
+	id, as, bs := strconv.Itoa(c.id()), strconv.Itoa(a), strconv.Itoa(b)
+	semAB := sim.NewSemaphore(e, "pc"+id+"/"+as+"->"+bs)
+	semBA := sim.NewSemaphore(e, "pc"+id+"/"+bs+"->"+as)
 	ca := &PortChannel{comm: c, local: a, remote: b, localBuf: aSrc, remoteBuf: aDst,
 		sendSem: semAB, recvSem: semBA,
-		flushSem: sim.NewSemaphore(e, fmt.Sprintf("pc%d/flush@%d", id, a))}
+		flushSem: sim.NewSemaphore(e, "pc"+id+"/flush@"+as)}
 	cb := &PortChannel{comm: c, local: b, remote: a, localBuf: bSrc, remoteBuf: bDst,
 		sendSem: semBA, recvSem: semAB,
-		flushSem: sim.NewSemaphore(e, fmt.Sprintf("pc%d/flush@%d", id, b))}
-	ca.svc = c.newProxy(fmt.Sprintf("pc%d@%d", id, a), ca)
-	cb.svc = c.newProxy(fmt.Sprintf("pc%d@%d", id, b), cb)
+		flushSem: sim.NewSemaphore(e, "pc"+id+"/flush@"+bs)}
+	ca.svc = c.newProxy("pc"+id+"@"+as, ca)
+	cb.svc = c.newProxy("pc"+id+"@"+bs, cb)
 	return ca, cb
 }
 
@@ -96,19 +97,19 @@ func (ch *PortChannel) checkKernel(k *machine.Kernel) {
 	}
 }
 
-// handle processes one proxy request in proxy-thread context (paper Figure 4
-// steps 3-7).
-func (ch *PortChannel) handle(p *sim.Proc, req proxy.Request) {
+// handle processes one proxy request in proxy context at virtual time now
+// (paper Figure 4 steps 3-7). It returns the time at which the proxy may
+// pick up the next request.
+func (ch *PortChannel) handle(now sim.Time, req proxy.Request) sim.Time {
 	e := ch.comm.M.Engine
 	f := ch.comm.M.Fabric
-	model := ch.comm.M.Model
 	switch req.Kind {
 	case proxy.KindPut, proxy.KindPutSignal, proxy.KindPutSignalFlush:
 		var complete sim.Time
 		if f.SameNode(ch.local, ch.remote) {
-			complete = f.DMA(p.Now(), ch.local, ch.remote, req.Size)
+			complete = f.DMA(now, ch.local, ch.remote, req.Size)
 		} else {
-			complete = f.RDMA(p.Now(), ch.local, ch.remote, req.Size)
+			complete = f.RDMA(now, ch.local, ch.remote, req.Size)
 		}
 		// In-order delivery per channel (same DMA engine / same QP).
 		complete = maxTime(complete, ch.lastComplete)
@@ -117,19 +118,19 @@ func (ch *PortChannel) handle(p *sim.Proc, req proxy.Request) {
 		dstOff, srcOff, n := req.DstOff, req.SrcOff, req.Size
 		e.At(complete, func() { src.CopyTo(dst, dstOff, srcOff, n) })
 		if req.Kind == proxy.KindPutSignal || req.Kind == proxy.KindPutSignalFlush {
-			ch.issueSignal(p.Now(), complete)
+			ch.issueSignal(now, complete)
 		}
 		if req.Kind == proxy.KindPutSignalFlush {
-			ch.completeFlush(p, complete)
+			return ch.completeFlush(now, complete)
 		}
 	case proxy.KindSignal:
-		ch.issueSignal(p.Now(), ch.lastComplete)
+		ch.issueSignal(now, ch.lastComplete)
 	case proxy.KindFlush:
-		ch.completeFlush(p, ch.lastComplete)
+		return ch.completeFlush(now, ch.lastComplete)
 	default:
 		panic("core: unknown proxy request kind " + req.Kind.String())
 	}
-	_ = model
+	return now
 }
 
 // issueSignal delivers an ordered atomic increment to the peer semaphore: it
@@ -141,18 +142,17 @@ func (ch *PortChannel) issueSignal(now, lastData sim.Time) {
 	arrive := maxTime(now+f.SignalLatency(ch.local, ch.remote), lastData+model.SemSignalCost)
 	arrive = maxTime(arrive, ch.lastSignal+1)
 	ch.lastSignal = arrive
-	sem := ch.sendSem
-	ch.comm.M.Engine.At(arrive, func() { sem.Add(1) })
+	ch.sendSem.AddAt(arrive, 1)
 }
 
-// completeFlush blocks the proxy thread until all prior transfers complete
-// (ibv_poll_cq loop), then releases the GPU-side flush waiter. The proxy
-// stalls, delaying subsequent requests, exactly as the paper describes.
-func (ch *PortChannel) completeFlush(p *sim.Proc, lastData sim.Time) {
+// completeFlush stalls the proxy until all prior transfers complete
+// (ibv_poll_cq loop), then releases the GPU-side flush waiter. The returned
+// stall time delays subsequent requests, exactly as the paper describes.
+func (ch *PortChannel) completeFlush(now, lastData sim.Time) sim.Time {
 	model := ch.comm.M.Model
-	done := maxTime(p.Now(), lastData) + model.FlushCheckCost
-	p.SleepUntil(done)
-	ch.flushSem.Add(1)
+	done := maxTime(now, lastData) + model.FlushCheckCost
+	ch.flushSem.AddAt(done, 1)
+	return done
 }
 
 // Put pushes a put request for this block's shard. Asynchronous: returns as

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"mscclpp/internal/machine"
 	"mscclpp/internal/mem"
@@ -41,7 +42,7 @@ func (c *Communicator) NewSwitchChannels(ranks []int, bufs []*mem.Buffer) []*Swi
 			panic("core: switch channel members must share a node (single NVSwitch)")
 		}
 	}
-	mm, err := mem.NewMultimem(fmt.Sprintf("sc%d", c.id()), bufs)
+	mm, err := mem.NewMultimem("sc"+strconv.Itoa(c.id()), bufs)
 	if err != nil {
 		panic(err)
 	}

@@ -11,6 +11,7 @@ package inference
 
 import (
 	"fmt"
+	"sync"
 
 	"mscclpp/internal/baseline/mscclsim"
 	"mscclpp/internal/baseline/ncclsim"
@@ -38,9 +39,15 @@ const (
 // fresh simulated cluster, prepares the library's best algorithm, warms it
 // up once and times the second invocation (steady state, as with CUDA
 // graphs in the paper).
+//
+// ARTimer is safe for concurrent use: workload sweeps fan decode/prefill
+// steps out across a worker pool and share one timer per library. The
+// measurement itself is deterministic, so concurrent misses for the same
+// size redundantly compute the identical value.
 type ARTimer struct {
 	envFn func() *topology.Env
 	lib   Library
+	mu    sync.Mutex
 	cache map[int64]sim.Duration
 }
 
@@ -60,14 +67,19 @@ func (t *ARTimer) Time(msg int64) sim.Duration {
 	if rem := msg % align; rem != 0 {
 		msg += align - rem
 	}
-	if d, ok := t.cache[msg]; ok {
+	t.mu.Lock()
+	d, ok := t.cache[msg]
+	t.mu.Unlock()
+	if ok {
 		return d
 	}
 	d, err := MeasureAllReduce(t.envFn(), t.lib, msg)
 	if err != nil {
 		panic(fmt.Sprintf("inference: measuring %s allreduce at %dB: %v", t.lib, msg, err))
 	}
+	t.mu.Lock()
 	t.cache[msg] = d
+	t.mu.Unlock()
 	return d
 }
 

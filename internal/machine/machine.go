@@ -5,6 +5,7 @@ package machine
 
 import (
 	"fmt"
+	"strconv"
 
 	"mscclpp/internal/fabric"
 	"mscclpp/internal/mem"
@@ -115,10 +116,14 @@ func (g *GPU) Launch(name string, nblocks int, body func(k *Kernel)) *KernelHand
 	h := &KernelHandle{Name: name, GPU: g, wg: sim.NewWaitGroup(e), start: e.Now()}
 	h.wg.Add(nblocks)
 	grid := &gridState{cond: sim.NewCond(e), size: nblocks}
+	// Per-block proc names are assembled by concatenation: this runs once
+	// per thread block on every kernel launch, where Sprintf parsing is
+	// measurable across a sweep's thousands of launches.
+	prefix := name + "/gpu" + strconv.Itoa(g.Rank) + "/tb"
 	e.After(g.m.Model.KernelLaunch, func() {
 		for b := 0; b < nblocks; b++ {
 			blk := b
-			e.Spawn(fmt.Sprintf("%s/gpu%d/tb%d", name, g.Rank, blk), func(p *sim.Proc) {
+			e.Spawn(prefix+strconv.Itoa(blk), func(p *sim.Proc) {
 				k := &Kernel{P: p, GPU: g, Block: blk, NumBlocks: nblocks, grid: grid}
 				body(k)
 				h.wg.Done()

@@ -6,6 +6,14 @@
 // signal / flush requests by writing at the queue head; the CPU thread polls
 // the tail, decodes requests, initiates DMA/RDMA transfers, and completes
 // flushes once all preceding transfers have finished.
+//
+// The proxy thread is purely reactive, so it is simulated as a callback
+// state machine on the engine's event queue rather than a full Proc: each
+// request costs two typed events (notice/handle) instead of a goroutine
+// park/resume round-trip per FIFO operation. Timing is identical to the
+// thread formulation: an idle proxy notices a push after PollDelay, charges
+// HandleCost per request, and a stalling request (flush) delays all
+// subsequent requests until it completes.
 package proxy
 
 import (
@@ -59,10 +67,13 @@ type Request struct {
 	Size   int64
 }
 
-// Handler processes one request in proxy-thread context. It may sleep the
-// proxy process (e.g. a flush blocks the proxy until the CQ drains, delaying
-// subsequent requests, exactly as in the paper).
-type Handler func(p *sim.Proc, req Request)
+// Handler processes one request in proxy context at virtual time now. It
+// schedules its own side effects (transfers, semaphore bumps) on the engine
+// and returns the time at which the proxy is free to pick up the next
+// request: now for fire-and-forget requests, later for stalling requests
+// (e.g. a flush blocks the proxy until the CQ drains, delaying subsequent
+// requests, exactly as in the paper).
+type Handler func(now sim.Time, req Request) (busyUntil sim.Time)
 
 // Config carries the cost-model constants the service charges.
 type Config struct {
@@ -72,74 +83,104 @@ type Config struct {
 	HandleCost sim.Duration // CPU cost to decode + initiate one request
 }
 
-// Service is one proxy thread plus its FIFO.
+// Service is one proxy state machine plus its FIFO.
 type Service struct {
 	name    string
 	e       *sim.Engine
 	cfg     Config
 	handler Handler
 
-	queue    []Request
-	notEmpty *sim.Cond
-	notFull  *sim.Cond
+	queue   []Request
+	head    int
+	notFull *sim.Cond
+
+	// running is true while a step/exec event chain is in flight; an idle
+	// service is re-armed by the next Push.
+	running bool
+	cur     Request
+
+	// cached callbacks and wait state, built once at construction so the
+	// steady-state request path allocates nothing.
+	stepFn     func()
+	execFn     func()
+	fullPred   func() bool
+	fullReason string
 
 	// stats
 	pushed  uint64
 	handled uint64
 }
 
-// NewService spawns the proxy thread (a daemon process) and returns the
-// service handle.
+// NewService returns the service handle. No goroutine is spawned: the proxy
+// thread exists only as events on the engine's queue.
 func NewService(e *sim.Engine, name string, cfg Config, h Handler) *Service {
 	if cfg.Capacity < 1 {
 		cfg.Capacity = 128
 	}
 	s := &Service{
-		name:     name,
-		e:        e,
-		cfg:      cfg,
-		handler:  h,
-		notEmpty: sim.NewCond(e),
-		notFull:  sim.NewCond(e),
+		name:       name,
+		e:          e,
+		cfg:        cfg,
+		handler:    h,
+		notFull:    sim.NewCond(e),
+		fullReason: "proxy fifo full " + name,
 	}
-	p := e.Spawn("proxy/"+name, s.run)
-	p.SetDaemon(true)
+	s.stepFn = s.step
+	s.execFn = s.exec
+	s.fullPred = func() bool { return s.pending() < s.cfg.Capacity }
 	return s
 }
+
+func (s *Service) pending() int { return len(s.queue) - s.head }
 
 // Push appends a request from GPU context, blocking the calling thread block
 // while the FIFO is full (the GPU checks head-tail distance before writing).
 func (s *Service) Push(p *sim.Proc, req Request) {
-	p.Wait(s.notFull, "proxy fifo full "+s.name, func() bool {
-		return len(s.queue) < s.cfg.Capacity
-	})
+	p.Wait(s.notFull, s.fullReason, s.fullPred)
 	p.Sleep(s.cfg.PushCost)
 	s.queue = append(s.queue, req)
 	s.pushed++
-	s.notEmpty.Broadcast()
+	if !s.running {
+		// The queue was idle: charge the polling-granularity delay before
+		// the CPU notices the new head value over PCIe.
+		s.running = true
+		s.e.After(s.cfg.PollDelay, s.stepFn)
+	}
 }
 
 // Pending returns the number of queued requests (diagnostics).
-func (s *Service) Pending() int { return len(s.queue) }
+func (s *Service) Pending() int { return s.pending() }
 
 // Handled returns the number of requests processed so far.
 func (s *Service) Handled() uint64 { return s.handled }
 
-func (s *Service) run(p *sim.Proc) {
-	for {
-		if len(s.queue) == 0 {
-			p.Wait(s.notEmpty, "proxy idle "+s.name, func() bool {
-				return len(s.queue) > 0
-			})
-			// The queue was idle: charge the polling-granularity delay
-			// before the CPU notices the new head value over PCIe.
-			p.Sleep(s.cfg.PollDelay)
-		}
-		req := s.queue[0]
-		s.queue = s.queue[1:]
-		s.notFull.Broadcast()
-		p.Sleep(s.cfg.HandleCost)
-		s.handler(p, req)
-		s.handled++
+// step picks up the next request, or parks the service when the queue is
+// empty.
+func (s *Service) step() {
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+		s.running = false
+		return
 	}
+	s.cur = s.queue[s.head]
+	s.head++
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	}
+	s.notFull.Broadcast()
+	s.e.After(s.cfg.HandleCost, s.execFn)
+}
+
+// exec runs the handler for the current request and chains to the next one
+// once the proxy is free again.
+func (s *Service) exec() {
+	busy := s.handler(s.e.Now(), s.cur)
+	s.handled++
+	if busy > s.e.Now() {
+		s.e.At(busy, s.stepFn)
+		return
+	}
+	s.step()
 }

@@ -1,0 +1,142 @@
+package proxy
+
+// Timing-contract tests for the callback-based proxy state machine: the
+// event formulation must charge exactly the same virtual-time costs as the
+// original proxy-thread formulation (poll delay on an idle queue, handle
+// cost per request, stalls delaying subsequent requests, and FIFO
+// backpressure on a bounded queue).
+
+import (
+	"testing"
+
+	"mscclpp/internal/sim"
+)
+
+var testCfg = Config{Capacity: 4, PushCost: 5, PollDelay: 10, HandleCost: 7}
+
+func TestIdleQueueChargesPollDelay(t *testing.T) {
+	e := sim.NewEngine()
+	var handledAt []sim.Time
+	svc := NewService(e, "t", testCfg, func(now sim.Time, req Request) sim.Time {
+		handledAt = append(handledAt, now)
+		return now
+	})
+	e.Spawn("gpu", func(p *sim.Proc) {
+		p.Sleep(100)
+		svc.Push(p, Request{Kind: KindSignal})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Push completes at 100+PushCost; the idle proxy notices after
+	// PollDelay and handles after HandleCost.
+	want := sim.Time(100 + testCfg.PushCost + testCfg.PollDelay + testCfg.HandleCost)
+	if len(handledAt) != 1 || handledAt[0] != want {
+		t.Fatalf("handledAt = %v, want [%d]", handledAt, want)
+	}
+	if svc.Handled() != 1 || svc.Pending() != 0 {
+		t.Fatalf("handled=%d pending=%d", svc.Handled(), svc.Pending())
+	}
+}
+
+func TestBusyQueueSkipsPollDelay(t *testing.T) {
+	e := sim.NewEngine()
+	var handledAt []sim.Time
+	svc := NewService(e, "t", testCfg, func(now sim.Time, req Request) sim.Time {
+		handledAt = append(handledAt, now)
+		return now
+	})
+	e.Spawn("gpu", func(p *sim.Proc) {
+		svc.Push(p, Request{Kind: KindSignal})
+		svc.Push(p, Request{Kind: KindSignal})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(handledAt) != 2 {
+		t.Fatalf("handled %d requests", len(handledAt))
+	}
+	// Second request is picked up back-to-back: only HandleCost apart, no
+	// second poll delay.
+	if handledAt[1]-handledAt[0] != testCfg.HandleCost {
+		t.Fatalf("back-to-back spacing = %d, want %d", handledAt[1]-handledAt[0], testCfg.HandleCost)
+	}
+}
+
+func TestStallDelaysSubsequentRequests(t *testing.T) {
+	e := sim.NewEngine()
+	const stall = 50
+	var handledAt []sim.Time
+	svc := NewService(e, "t", testCfg, func(now sim.Time, req Request) sim.Time {
+		handledAt = append(handledAt, now)
+		if req.Kind == KindFlush {
+			return now + stall
+		}
+		return now
+	})
+	e.Spawn("gpu", func(p *sim.Proc) {
+		svc.Push(p, Request{Kind: KindFlush})
+		svc.Push(p, Request{Kind: KindSignal})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(handledAt) != 2 {
+		t.Fatalf("handled %d requests", len(handledAt))
+	}
+	if got := handledAt[1] - handledAt[0]; got != stall+testCfg.HandleCost {
+		t.Fatalf("post-stall spacing = %d, want %d", got, stall+testCfg.HandleCost)
+	}
+}
+
+func TestBoundedQueueBackpressure(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := Config{Capacity: 2, PushCost: 1, PollDelay: 10, HandleCost: 100}
+	svc := NewService(e, "t", cfg, func(now sim.Time, req Request) sim.Time { return now })
+	var pushDone []sim.Time
+	e.Spawn("gpu", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			svc.Push(p, Request{Kind: KindSignal})
+			pushDone = append(pushDone, p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Handled() != 4 {
+		t.Fatalf("handled = %d, want 4", svc.Handled())
+	}
+	// Pushes 1 and 2 land immediately; push 3 must wait until the proxy
+	// drains a slot (well after the unconstrained pushes).
+	if pushDone[1] != 2 {
+		t.Fatalf("second push finished at %d, want 2", pushDone[1])
+	}
+	if pushDone[2] <= cfg.PollDelay {
+		t.Fatalf("third push finished at %d, expected backpressure past the first drain", pushDone[2])
+	}
+}
+
+func TestReIdleChargesPollDelayAgain(t *testing.T) {
+	e := sim.NewEngine()
+	var handledAt []sim.Time
+	svc := NewService(e, "t", testCfg, func(now sim.Time, req Request) sim.Time {
+		handledAt = append(handledAt, now)
+		return now
+	})
+	e.Spawn("gpu", func(p *sim.Proc) {
+		svc.Push(p, Request{Kind: KindSignal})
+		p.Sleep(1000) // let the proxy drain and go idle
+		svc.Push(p, Request{Kind: KindSignal})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(handledAt) != 2 {
+		t.Fatalf("handled %d requests", len(handledAt))
+	}
+	push2Done := sim.Time(1000 + testCfg.PushCost + testCfg.PushCost)
+	want := push2Done + testCfg.PollDelay + testCfg.HandleCost
+	if handledAt[1] != want {
+		t.Fatalf("re-idle handle at %d, want %d", handledAt[1], want)
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+// Microbenchmarks for the discrete-event engine hot path. These measure
+// simulator *wall-clock* throughput (events/sec, allocs/op), not virtual
+// time: they are the substrate benchmarks that bound how many paper
+// scenarios the harness can sweep per core-hour.
+//
+// Run with:
+//
+//	go test ./internal/sim -bench=BenchmarkEngine -benchmem
+//
+// Baseline (pre-overhaul) and current numbers are recorded in BENCH_sim.json
+// at the repository root.
+
+import "testing"
+
+// BenchmarkEngineEventThroughput measures steady-state schedule+run
+// throughput of timed events: a window of in-flight events each rescheduling
+// a successor, the shape of NIC-completion and signal-delivery traffic. The
+// callback is shared, so the number measures pure scheduling machinery.
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	b.ReportAllocs()
+	const batch = 4096
+	const window = 64 // in-flight timed events
+	n := 0
+	for n < b.N {
+		e := NewEngine()
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count+window <= batch {
+				e.After(Duration(count%7+1), tick)
+			}
+		}
+		for i := 0; i < window; i++ {
+			e.After(Duration(i%7+1), tick)
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if count != batch {
+			b.Fatalf("ran %d of %d events", count, batch)
+		}
+		n += batch
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineDeepHeap measures heap asymptotics: 4096 one-shot events
+// scheduled up front and drained in timestamp order.
+func BenchmarkEngineDeepHeap(b *testing.B) {
+	b.ReportAllocs()
+	const batch = 4096
+	n := 0
+	for n < b.N {
+		e := NewEngine()
+		sink := 0
+		for i := 0; i < batch; i++ {
+			e.At(Time(i), func() { sink++ })
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if sink != batch {
+			b.Fatalf("ran %d of %d events", sink, batch)
+		}
+		n += batch
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEngineSameInstant measures the same-timestamp dispatch path
+// (Yield, Cond.Broadcast and same-instant completions all land here).
+func BenchmarkEngineSameInstant(b *testing.B) {
+	b.ReportAllocs()
+	const batch = 4096
+	n := 0
+	for n < b.N {
+		e := NewEngine()
+		sink := 0
+		var spin func()
+		spin = func() {
+			sink++
+			if sink < batch {
+				e.At(e.Now(), spin)
+			}
+		}
+		e.At(0, spin)
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		n += batch
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkEnginePingPong measures park/dispatch latency: two processes
+// alternating on a pair of semaphores, one wake per iteration — the pattern
+// of every signal/wait channel synchronization in the simulator.
+func BenchmarkEnginePingPong(b *testing.B) {
+	b.ReportAllocs()
+	const rounds = 1024
+	n := 0
+	for n < b.N {
+		e := NewEngine()
+		a := NewSemaphore(e, "a")
+		z := NewSemaphore(e, "z")
+		e.Spawn("ping", func(p *Proc) {
+			for i := uint64(1); i <= rounds; i++ {
+				a.Add(1)
+				z.WaitGE(p, i)
+			}
+		})
+		e.Spawn("pong", func(p *Proc) {
+			for i := uint64(1); i <= rounds; i++ {
+				a.WaitGE(p, i)
+				z.Add(1)
+			}
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		n += 2 * rounds
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "wakes/sec")
+}
+
+// BenchmarkEngineSleepChain measures the sleep/park/resume round-trip of a
+// single process advancing the clock — the thread-block Elapse hot path.
+func BenchmarkEngineSleepChain(b *testing.B) {
+	b.ReportAllocs()
+	const steps = 4096
+	n := 0
+	for n < b.N {
+		e := NewEngine()
+		e.Spawn("walker", func(p *Proc) {
+			for i := 0; i < steps; i++ {
+				p.Sleep(10)
+			}
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		n += steps
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sleeps/sec")
+}
+
+// BenchmarkEngineYield measures Sleep(0): the same-instant yield that the
+// overhaul short-circuits when no other work is pending at the current time.
+func BenchmarkEngineYield(b *testing.B) {
+	b.ReportAllocs()
+	const steps = 8192
+	n := 0
+	for n < b.N {
+		e := NewEngine()
+		e.Spawn("spinner", func(p *Proc) {
+			for i := 0; i < steps; i++ {
+				p.Yield()
+			}
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		n += steps
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "yields/sec")
+}
+
+// BenchmarkEngineCondStorm measures Broadcast recheck cost when one signal
+// releases every waiter at once (the grid-barrier / kernel-join pattern):
+// the whole waiter list is woken in FIFO order by a single recheck sweep.
+func BenchmarkEngineCondStorm(b *testing.B) {
+	b.ReportAllocs()
+	const waiters = 256
+	n := 0
+	for n < b.N {
+		e := NewEngine()
+		sem := NewSemaphore(e, "storm")
+		done := 0
+		for i := 0; i < waiters; i++ {
+			e.Spawn("w", func(p *Proc) {
+				sem.WaitGE(p, 1)
+				done++
+			})
+		}
+		e.Spawn("producer", func(p *Proc) {
+			p.Sleep(1)
+			sem.Add(1)
+		})
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if done != waiters {
+			b.Fatalf("woke %d of %d", done, waiters)
+		}
+		n += waiters
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "wakes/sec")
+}

@@ -12,10 +12,16 @@
 // engine enforces mutual exclusion through explicit hand-off channels, so all
 // simulation state may be accessed without locks. All engine methods must be
 // called either from the currently running Proc or from an event callback.
+//
+// Hot-path design: events are value types (no per-event heap allocation)
+// kept in two structures — a FIFO ring for events scheduled at the current
+// timestamp (the dominant case: Yield, Cond.Broadcast, same-instant
+// completions) and a monomorphic 4-ary min-heap for future events. Proc
+// dispatch, semaphore delivery and condition rechecks are encoded as typed
+// events rather than closures, so steady-state scheduling is allocation-free.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -35,53 +41,107 @@ const (
 	Second      Duration = 1000 * 1000 * 1000
 )
 
+// evKind discriminates the typed fast-path events. Encoding the common
+// engine-internal callbacks as kinds instead of closures keeps the
+// scheduling hot path free of func-value allocations.
+type evKind uint8
+
+const (
+	evFunc   evKind = iota // run fn()
+	evProc                 // dispatch(p)
+	evSemAdd               // sem.Add(n)
+	evCond                 // cond.recheck()
+)
+
+// event is a value-type queue entry (no per-event allocation). obj holds the
+// kind-dependent payload: func() for evFunc, *Proc for evProc, *Semaphore
+// for evSemAdd, *Cond for evCond — all pointer-shaped, so the interface
+// conversion never allocates.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t    Time
+	n    uint64
+	obj  any
+	kind evKind
 }
 
-type eventHeap []*event
+// heapEnt is a scalar-only heap element. Keeping the pointerful payload out
+// of the heap array (in a stable slot of Engine.slots) means sift-up and
+// sift-down move 16-byte pointer-free values — no GC write barriers on the
+// O(log n) moves of every push/pop, and a 4-ary node spans one cache line.
+// seq is a wrapping tiebreak counter compared circularly: it only ever
+// discriminates events at the same timestamp, whose sequence distance is
+// far below 2^31.
+type heapEnt struct {
+	t    Time
+	seq  uint32
+	slot int32
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// payload is the pointer-carrying part of a heap event, written once at
+// schedule time and read once at pop time.
+type payload struct {
+	obj  any
+	n    uint64
+	kind evKind
+}
+
+func entLess(a, b *heapEnt) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return int32(a.seq-b.seq) < 0
 }
 
 // Engine is a deterministic discrete-event simulation kernel.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint32 // wrapping heap-entry tiebreak (see heapEnt)
+
+	// ring holds events scheduled at the current timestamp, in FIFO order
+	// (ring[ringHead:] are pending). heap is a 4-ary min-heap of future
+	// events, scalar entries only; their payloads live in slots (free slots
+	// listed in free). Invariant: every heap event satisfies t >= now, and
+	// any heap event with t == now was scheduled before the clock reached
+	// now, so it orders (by seq) before every ring event.
+	ring     []event
+	ringHead int
+	heap     []heapEnt
+	slots    []payload
+	freeHead int32 // head of the free-slot list threaded through slots[i].n
+
 	parked chan struct{} // signaled by a Proc when it parks or finishes
 	live   map[*Proc]struct{}
 	nextID int
+
+	// horizon is the deadline of the driving Run/RunUntil call. A running
+	// Proc that is the only runnable work before its wake time may advance
+	// the clock inline (skipping the park/dispatch round-trip), but never
+	// past the horizon — RunUntil must stop exactly at its deadline.
+	horizon Time
+
+	// recheckDepth counts Cond rechecks currently on the dispatch stack.
+	// While a recheck is in progress, waiters it has not yet scanned are
+	// runnable work that is invisible to the event queue, so the same-instant
+	// sleep fast path must be disabled to preserve FIFO interleaving.
+	recheckDepth int
 
 	// stats
 	eventsRun  uint64
 	procsTotal int
 }
 
-// NewEngine returns a fresh engine with the clock at zero.
+// NewEngine returns a fresh engine with the clock at zero. Event storage is
+// pre-sized so steady-state scheduling never reallocates.
 func NewEngine() *Engine {
 	return &Engine{
-		parked: make(chan struct{}),
-		live:   make(map[*Proc]struct{}),
+		ring:     make([]event, 0, 64),
+		heap:     make([]heapEnt, 0, 64),
+		slots:    make([]payload, 0, 64),
+		freeHead: -1,
+		parked:   make(chan struct{}),
+		live:     make(map[*Proc]struct{}),
 	}
 }
 
@@ -95,15 +155,177 @@ func (e *Engine) EventsRun() uint64 { return e.eventsRun }
 // is clamped to the current time (the event still runs after all currently
 // pending work at that timestamp, preserving determinism).
 func (e *Engine) At(t Time, fn func()) {
-	if t < e.now {
-		t = e.now
-	}
-	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+	e.schedule(t, event{kind: evFunc, obj: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// schedule routes ev to the current-instant ring (t <= now) or the heap.
+// Ring entries need no sequence number: their order is positional.
+func (e *Engine) schedule(t Time, ev event) {
+	if t <= e.now {
+		ev.t = e.now
+		e.ring = append(e.ring, ev)
+		return
+	}
+	e.seq++
+	slot := e.freeHead
+	if slot >= 0 {
+		e.freeHead = int32(e.slots[slot].n)
+	} else {
+		e.slots = append(e.slots, payload{})
+		slot = int32(len(e.slots) - 1)
+	}
+	e.slots[slot] = payload{obj: ev.obj, n: ev.n, kind: ev.kind}
+	e.heapPush(heapEnt{t: t, seq: e.seq, slot: slot})
+}
+
+// heapPush inserts ent into the 4-ary min-heap (hole-based sift-up: parents
+// slide down into the hole, ent is written once at its final position).
+func (e *Engine) heapPush(ent heapEnt) {
+	h := append(e.heap, heapEnt{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(&ent, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ent
+	e.heap = h
+}
+
+// heapPop removes and returns the minimum heap entry; the caller owns the
+// payload slot. Floyd's sift-down: walk the min-child path to a leaf (no
+// comparison against the displaced last element on the way down — it almost
+// always belongs near the bottom), then bubble the last element up.
+func (e *Engine) heapPop() heapEnt {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	e.heap = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		min := 4*i + 1
+		if min >= n {
+			break
+		}
+		end := min + 4
+		if end > n {
+			end = n
+		}
+		for c := min + 1; c < end; c++ {
+			if entLess(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		h[i] = h[min]
+		i = min
+	}
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entLess(&last, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = last
+	return top
+}
+
+// hasWorkNow reports whether any event is pending at the current timestamp.
+func (e *Engine) hasWorkNow() bool {
+	return e.ringHead < len(e.ring) || (len(e.heap) > 0 && e.heap[0].t <= e.now)
+}
+
+// peekTime returns the timestamp of the next event, if any.
+func (e *Engine) peekTime() (Time, bool) {
+	if e.hasWorkNow() {
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].t, true
+	}
+	return 0, false
+}
+
+// runNext pops and executes the next event in (t, seq) order, advancing the
+// clock as needed. Heap events at the current timestamp precede ring events
+// (they carry strictly smaller sequence numbers, see the ring/heap
+// invariant). Reports false when the queue is empty.
+func (e *Engine) runNext() bool {
+	if len(e.heap) > 0 && e.heap[0].t <= e.now {
+		e.runHeapTop()
+		return true
+	}
+	if e.ringHead < len(e.ring) {
+		i := e.ringHead
+		e.ringHead++
+		ev := &e.ring[i]
+		kind, obj, n := ev.kind, ev.obj, ev.n
+		ev.obj = nil // release reference
+		// Recycle consumed capacity before exec (which may append): reset
+		// when drained, or slide pending entries down once the consumed
+		// prefix dominates, so a never-empty ring stays bounded.
+		if e.ringHead == len(e.ring) {
+			e.ring = e.ring[:0]
+			e.ringHead = 0
+		} else if e.ringHead >= 32 && e.ringHead*2 >= len(e.ring) {
+			m := copy(e.ring, e.ring[e.ringHead:])
+			tail := e.ring[m:]
+			for j := range tail {
+				tail[j] = event{}
+			}
+			e.ring = e.ring[:m]
+			e.ringHead = 0
+		}
+		e.eventsRun++
+		e.exec(kind, obj, n)
+		return true
+	}
+	if len(e.heap) > 0 {
+		e.now = e.heap[0].t
+		e.runHeapTop()
+		return true
+	}
+	return false
+}
+
+// runHeapTop executes the minimum heap event, freeing its payload slot
+// before the callback runs so the callback's own pushes can reuse it.
+func (e *Engine) runHeapTop() {
+	ent := e.heapPop()
+	pl := &e.slots[ent.slot]
+	kind, obj, n := pl.kind, pl.obj, pl.n
+	pl.obj = nil // release reference; thread slot onto the free list
+	pl.n = uint64(e.freeHead)
+	e.freeHead = ent.slot
+	e.eventsRun++
+	e.exec(kind, obj, n)
+}
+
+// exec runs one event payload.
+func (e *Engine) exec(kind evKind, obj any, n uint64) {
+	switch kind {
+	case evProc:
+		e.dispatch(obj.(*Proc))
+	case evSemAdd:
+		obj.(*Semaphore).Add(n)
+	case evCond:
+		obj.(*Cond).recheck()
+	default:
+		obj.(func())()
+	}
+}
 
 // Spawn creates a new process running fn and schedules it to start at the
 // current virtual time. It may be called before Run or from inside a running
@@ -125,7 +347,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		delete(e.live, p)
 		e.parked <- struct{}{}
 	}()
-	e.At(e.now, func() { e.dispatch(p) })
+	e.schedule(e.now, event{kind: evProc, obj: p})
 	return p
 }
 
@@ -155,11 +377,9 @@ func (d *DeadlockError) Error() string {
 // Run executes events until the queue is empty. If live processes remain
 // blocked afterwards, Run returns a *DeadlockError naming them.
 func (e *Engine) Run() error {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.t
-		e.eventsRun++
-		ev.fn()
+	const maxTime = Time(1<<63 - 1)
+	e.horizon = maxTime
+	for e.runNext() {
 	}
 	var blocked []string
 	for p := range e.live {
@@ -179,11 +399,15 @@ func (e *Engine) Run() error {
 // the queue drained (all work done), false if events remain past the
 // deadline.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.events) > 0 && e.events[0].t <= deadline {
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.t
-		e.eventsRun++
-		ev.fn()
+	e.horizon = deadline
+	for {
+		t, ok := e.peekTime()
+		if !ok {
+			return true
+		}
+		if t > deadline {
+			return false
+		}
+		e.runNext()
 	}
-	return len(e.events) == 0
 }

@@ -1,0 +1,202 @@
+package sim
+
+// Contract tests for the engine guarantees the hot-path overhaul must
+// preserve: RunUntil boundary semantics, deadlock reporting with daemons,
+// Cond.Broadcast FIFO wake order, deferred semaphore delivery, and run-to-run
+// determinism of both timing and event counts.
+
+import "testing"
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	e.At(99, func() { ran = append(ran, 99) })
+	e.At(100, func() { ran = append(ran, 100) })
+	e.At(101, func() { ran = append(ran, 101) })
+	if e.RunUntil(100) {
+		t.Fatal("RunUntil(100) claimed completion with an event at 101 pending")
+	}
+	if len(ran) != 2 || ran[0] != 99 || ran[1] != 100 {
+		t.Fatalf("events <= deadline ran: %v, want [99 100]", ran)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("Now() = %d after RunUntil(100), want 100", e.Now())
+	}
+	if !e.RunUntil(101) {
+		t.Fatal("RunUntil(101) should drain the queue")
+	}
+	if len(ran) != 3 || ran[2] != 101 {
+		t.Fatalf("ran = %v, want trailing 101", ran)
+	}
+}
+
+// TestRunUntilSleeperNotOvershot pins the horizon contract: a process whose
+// engine is otherwise idle may advance the clock inline, but never past a
+// RunUntil deadline — work after the deadline must stay pending.
+func TestRunUntilSleeperNotOvershot(t *testing.T) {
+	e := NewEngine()
+	steps := 0
+	e.Spawn("walker", func(p *Proc) {
+		for i := 0; i < 8; i++ {
+			p.Sleep(100)
+			steps++
+		}
+	})
+	if e.RunUntil(350) {
+		t.Fatal("RunUntil(350) claimed completion")
+	}
+	if steps != 3 {
+		t.Fatalf("steps = %d at t<=350, want 3", steps)
+	}
+	if e.Now() > 350 {
+		t.Fatalf("clock overshot deadline: %d", e.Now())
+	}
+	if !e.RunUntil(10_000) {
+		t.Fatal("final RunUntil should drain")
+	}
+	if steps != 8 || e.Now() != 800 {
+		t.Fatalf("steps=%d now=%d, want 8 at 800", steps, e.Now())
+	}
+}
+
+func TestDeadlockReportSkipsDaemons(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "never")
+	daemon := e.Spawn("svc", func(p *Proc) {
+		sem.WaitGE(p, 1)
+	})
+	daemon.SetDaemon(true)
+	e.Spawn("victim", func(p *Proc) {
+		sem.WaitGE(p, 1)
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("expected DeadlockError, got %v", err)
+	}
+	if len(de.Blocked) != 1 {
+		t.Fatalf("blocked = %v, want only the non-daemon victim", de.Blocked)
+	}
+	if de.Blocked[0] != "victim (semaphore never)" {
+		t.Fatalf("blocked[0] = %q", de.Blocked[0])
+	}
+}
+
+func TestBroadcastWakesFIFO(t *testing.T) {
+	e := NewEngine()
+	cond := NewCond(e)
+	ready := false
+	var order []int
+	for i := 0; i < 8; i++ {
+		id := i
+		e.Spawn("w", func(p *Proc) {
+			p.Wait(cond, "w", func() bool { return ready })
+			order = append(order, id)
+		})
+	}
+	e.Spawn("kick", func(p *Proc) {
+		p.Sleep(5)
+		ready = true
+		cond.Broadcast()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 8 {
+		t.Fatalf("woke %d of 8", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("wake order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestSemaphoreAddAt(t *testing.T) {
+	e := NewEngine()
+	sem := NewSemaphore(e, "s")
+	var woke Time = -1
+	e.Spawn("waiter", func(p *Proc) {
+		sem.WaitGE(p, 3)
+		woke = p.Now()
+	})
+	sem.AddAt(50, 1)
+	sem.AddAt(120, 2)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 120 {
+		t.Fatalf("waiter woke at %d, want 120", woke)
+	}
+	if sem.Value() != 3 {
+		t.Fatalf("sem = %d, want 3", sem.Value())
+	}
+}
+
+// TestSameInstantFIFOAcrossSources checks the ring/heap ordering invariant:
+// events scheduled for time T before the clock reached T (heap residents)
+// run before events scheduled at T from within T (ring residents), and each
+// group runs in schedule order.
+func TestSameInstantFIFOAcrossSources(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(10, func() {
+		order = append(order, "early-a")
+		e.At(10, func() { order = append(order, "late-a") })
+		e.At(10, func() { order = append(order, "late-b") })
+	})
+	e.At(10, func() { order = append(order, "early-b") })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"early-a", "early-b", "late-a", "late-b"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// runWorkload drives a mixed sleep/semaphore/cond workload and returns the
+// engine's final state for determinism comparison.
+func runWorkload(t *testing.T) (Time, uint64) {
+	t.Helper()
+	e := NewEngine()
+	sem := NewSemaphore(e, "sync")
+	wg := NewWaitGroup(e)
+	wg.Add(6)
+	for i := 0; i < 6; i++ {
+		id := i
+		e.Spawn("worker", func(p *Proc) {
+			for step := 0; step < 20; step++ {
+				p.Sleep(Duration(7*id + step%5))
+				if step%3 == 0 {
+					sem.Add(1)
+				} else {
+					sem.WaitGE(p, uint64(id*3))
+				}
+				p.Yield()
+			}
+			wg.Done()
+		})
+	}
+	e.Spawn("joiner", func(p *Proc) {
+		wg.Wait(p)
+		sem.Add(100)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Now(), e.EventsRun()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	now1, events1 := runWorkload(t)
+	for trial := 0; trial < 3; trial++ {
+		now2, events2 := runWorkload(t)
+		if now2 != now1 || events2 != events1 {
+			t.Fatalf("trial %d: (now, events) = (%d, %d), want (%d, %d)",
+				trial, now2, events2, now1, events1)
+		}
+	}
+}

@@ -54,9 +54,28 @@ func (p *Proc) Sleep(d Duration) {
 
 // SleepUntil blocks the process until virtual time t (or now, if t is in the
 // past).
+//
+// Fast paths: when the process is the only runnable work between now and t,
+// parking is pure overhead — nothing could interleave before its wake event.
+// A same-instant sleep then returns immediately, and a future-time sleep
+// advances the clock inline, both skipping the park/resume goroutine
+// round-trip. The fast paths require that no Cond recheck is in flight
+// (waiters the recheck has not yet dispatched are runnable work invisible to
+// the event queue) and never move the clock past the driving Run/RunUntil
+// horizon.
 func (p *Proc) SleepUntil(t Time) {
 	e := p.e
-	e.At(t, func() { e.dispatch(p) })
+	if e.recheckDepth == 0 && e.ringHead == len(e.ring) {
+		if t <= e.now {
+			if len(e.heap) == 0 || e.heap[0].t > e.now {
+				return
+			}
+		} else if t <= e.horizon && (len(e.heap) == 0 || e.heap[0].t > t) {
+			e.now = t
+			return
+		}
+	}
+	e.schedule(t, event{kind: evProc, obj: p})
 	p.park("sleep")
 }
 
@@ -83,9 +102,20 @@ type Cond struct {
 	pending bool
 }
 
+// condWaiter is one blocked process. The common semaphore threshold wait is
+// stored inline (sem != nil) so WaitGE needs no predicate closure.
 type condWaiter struct {
-	p    *Proc
-	pred func() bool
+	p      *Proc
+	pred   func() bool
+	sem    *Semaphore
+	target uint64
+}
+
+func (w *condWaiter) ready() bool {
+	if w.sem != nil {
+		return w.sem.val >= w.target
+	}
+	return w.pred()
 }
 
 // NewCond returns a condition variable bound to e.
@@ -99,28 +129,41 @@ func (c *Cond) Broadcast() {
 		return
 	}
 	c.pending = true
-	c.e.At(c.e.now, c.recheck)
+	c.e.schedule(c.e.now, event{kind: evCond, obj: c})
 }
 
+// recheck scans the waiter list in FIFO order, dispatching every waiter
+// whose predicate holds and compacting survivors in place (one O(n) pass per
+// sweep instead of an O(n) splice per wake). Dispatching a waiter can change
+// state that satisfies further waiters — including waiters appended to the
+// list during the dispatch — so it iterates until a full pass wakes nobody.
 func (c *Cond) recheck() {
 	c.pending = false
-	// Dispatching a waiter can change state that satisfies further waiters,
-	// so iterate until a full pass wakes nobody.
+	e := c.e
+	e.recheckDepth++
 	for {
 		woke := false
-		for i := 0; i < len(c.waiters); i++ {
-			w := c.waiters[i]
-			if w.pred() {
-				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
-				i--
-				c.e.dispatch(w.p)
+		out := 0
+		for in := 0; in < len(c.waiters); in++ {
+			w := c.waiters[in]
+			if w.ready() {
+				c.waiters[in] = condWaiter{}
+				e.dispatch(w.p)
 				woke = true
+			} else if out != in {
+				c.waiters[out] = w
+				c.waiters[in] = condWaiter{}
+				out++
+			} else {
+				out++
 			}
 		}
+		c.waiters = c.waiters[:out]
 		if !woke {
-			return
+			break
 		}
 	}
+	e.recheckDepth--
 }
 
 // Waiters returns the number of processes currently blocked on the condition.

@@ -6,14 +6,15 @@ package sim
 // code busy-waits (in virtual time) until the value reaches an expected
 // threshold.
 type Semaphore struct {
-	Name string
-	cond *Cond
-	val  uint64
+	Name   string
+	reason string // precomputed deadlock-diagnostic wait reason
+	cond   *Cond
+	val    uint64
 }
 
 // NewSemaphore returns a semaphore with value zero.
 func NewSemaphore(e *Engine, name string) *Semaphore {
-	return &Semaphore{Name: name, cond: NewCond(e)}
+	return &Semaphore{Name: name, reason: "semaphore " + name, cond: NewCond(e)}
 }
 
 // Value returns the current counter value.
@@ -26,9 +27,21 @@ func (s *Semaphore) Add(delta uint64) {
 	s.cond.Broadcast()
 }
 
-// WaitGE blocks p until the counter value is >= target.
+// AddAt schedules Add(delta) at absolute virtual time t as a typed engine
+// event — the allocation-free form of At(t, func() { s.Add(delta) }) used by
+// signal-delivery hot paths (channel signals, NIC completions).
+func (s *Semaphore) AddAt(t Time, delta uint64) {
+	s.cond.e.schedule(t, event{kind: evSemAdd, obj: s, n: delta})
+}
+
+// WaitGE blocks p until the counter value is >= target. The threshold wait
+// is stored inline in the condition's waiter record (no predicate closure).
 func (s *Semaphore) WaitGE(p *Proc, target uint64) {
-	p.Wait(s.cond, "semaphore "+s.Name, func() bool { return s.val >= target })
+	if s.val >= target {
+		return
+	}
+	s.cond.waiters = append(s.cond.waiters, condWaiter{p: p, sem: s, target: target})
+	p.park(s.reason)
 }
 
 // Resource models a serially reusable hardware unit (a link port, a DMA

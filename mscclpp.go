@@ -22,6 +22,16 @@
 //	comm := mscclpp.NewComm(cluster)
 //	in, out := ... // per-rank buffers via cluster.Alloc
 //	elapsed, err := comm.AllReduce(in, out)
+//
+// All results are measured in deterministic *virtual* time: a simulation
+// always replays identically, so reported latencies and bandwidths are
+// properties of the modeled hardware, independent of the host machine. The
+// execution substrate (internal/sim) is tuned for simulator *wall-clock*
+// throughput — an allocation-free event engine with same-instant and
+// inline clock-advance fast paths (microbenchmarks: go test ./internal/sim
+// -bench=BenchmarkEngine -benchmem; history in BENCH_sim.json) — and the
+// benchmark harness runs independent simulations in parallel across cores
+// without perturbing any virtual-time result.
 package mscclpp
 
 import (
