@@ -3,6 +3,9 @@
 // AllGather across A100-40G, H100 and MI300x), plus the DSL-vs-Primitive
 // comparison (§7.1) and the gain-breakdown ablations.
 //
+// It is a thin wrapper over the internal/scenario registry; use
+// cmd/paperbench for listing, JSON records and golden-output checks.
+//
 // Usage:
 //
 //	collbench -experiment all|table1|fig7|fig8|fig9|fig10|dslvsprim|ablation
@@ -10,324 +13,34 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
 
-	"mscclpp/internal/benchkit"
-	"mscclpp/internal/collective"
-	"mscclpp/internal/core"
-	"mscclpp/internal/dsl"
-	"mscclpp/internal/executor"
-	"mscclpp/internal/machine"
-	"mscclpp/internal/mem"
-	"mscclpp/internal/sim"
-	"mscclpp/internal/topology"
+	"mscclpp/internal/scenario"
 )
+
+// experiments are the collective scenarios in this command's traditional
+// output order; "all" runs every one of them.
+var experiments = []string{"table1", "fig7", "fig8", "fig9", "fig10", "dslvsprim", "ablation"}
 
 func main() {
 	exp := flag.String("experiment", "all", "table1|fig7|fig8|fig9|fig10|dslvsprim|ablation|all")
 	flag.Parse()
-	run := func(name string, fn func() error) {
+	matched := false
+	for _, name := range experiments {
 		if *exp != "all" && *exp != name {
-			return
+			continue
 		}
-		if err := fn(); err != nil {
+		matched = true
+		s, ok := scenario.Get(name)
+		if !ok {
+			log.Fatalf("%s: not registered", name)
+		}
+		if _, err := s.Exec(os.Stdout); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 	}
-	run("table1", table1)
-	run("fig7", func() error { return collFigure("Figure 7: AllReduce, A100-40G", topology.A100_40G, allReduceFns()) })
-	run("fig8", func() error { return collFigure("Figure 8: AllGather, A100-40G", topology.A100_40G, allGatherFns()) })
-	run("fig9", func() error {
-		return singleNodeFigure("Figure 9: AllReduce, H100 (NVLS)", topology.H100(1), allReduceFns())
-	})
-	run("fig10", func() error {
-		return singleNodeFigure("Figure 10: AllReduce, MI300x (RCCL baseline)", topology.MI300x(1), allReduceFns())
-	})
-	run("dslvsprim", dslVsPrim)
-	run("ablation", ablation)
-}
-
-type libFns struct {
-	names []string
-	fns   []benchkit.MeasureFn
-}
-
-func allReduceFns() libFns {
-	return libFns{
-		names: []string{"NCCL", "MSCCL", "MSCCL++"},
-		fns:   []benchkit.MeasureFn{benchkit.NCCLAllReduce, benchkit.MSCCLAllReduce, benchkit.MSCCLPPAllReduce},
+	if !matched {
+		log.Fatalf("unknown experiment %q", *exp)
 	}
-}
-
-func allGatherFns() libFns {
-	return libFns{
-		names: []string{"NCCL", "MSCCL", "MSCCL++"},
-		fns:   []benchkit.MeasureFn{benchkit.NCCLAllGather, benchkit.MSCCLAllGather, benchkit.MSCCLPPAllGather},
-	}
-}
-
-// collFigure renders one Figure 7/8-style grid: 1n8g, 2n16g, 4n32g.
-func collFigure(title string, envFn func(nodes int) *topology.Env, libs libFns) error {
-	for _, nodes := range []int{1, 2, 4} {
-		env := envFn(nodes)
-		label := fmt.Sprintf("%s — %dn%dg", title, nodes, env.TotalGPUs())
-		if err := renderPanels(label, env, libs); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func singleNodeFigure(title string, env *topology.Env, libs libFns) error {
-	return renderPanels(title, env, libs)
-}
-
-// renderPanels sweeps every (library, size) configuration of one panel
-// pair. Each Sweep call fans its per-size simulations out across the worker
-// pool (see benchkit.Sweep); results land in index-stable slots, keeping
-// the printed tables byte-identical to a sequential run.
-func renderPanels(label string, env *topology.Env, libs libFns) error {
-	var small, large []benchkit.Series
-	for i, fn := range libs.fns {
-		s, err := benchkit.Sweep(env, libs.names[i], benchkit.SmallSizes(), fn)
-		if err != nil {
-			return err
-		}
-		small = append(small, s)
-		l, err := benchkit.Sweep(env, libs.names[i], benchkit.LargeSizes(), fn)
-		if err != nil {
-			return err
-		}
-		large = append(large, l)
-	}
-	benchkit.PrintLatencyTable(os.Stdout, label+" (small messages)", small)
-	benchkit.PrintBandwidthTable(os.Stdout, label+" (large messages)", large)
-	all := benchkit.Series{Name: "all", Points: append(append([]benchkit.Point{}, small[len(small)-1].Points...), large[len(large)-1].Points...)}
-	allBaseN := benchkit.Series{Name: "nccl", Points: append(append([]benchkit.Point{}, small[0].Points...), large[0].Points...)}
-	allBaseM := benchkit.Series{Name: "msccl", Points: append(append([]benchkit.Point{}, small[1].Points...), large[1].Points...)}
-	benchkit.SpeedupSummary(os.Stdout, "  MSCCL++ vs NCCL ", allBaseN, all)
-	benchkit.SpeedupSummary(os.Stdout, "  MSCCL++ vs MSCCL", allBaseM, all)
-	fmt.Println()
-	return nil
-}
-
-// table1 reproduces Table 1: MSCCL++ primitive p2p performance vs the best
-// achievable on the H100 environment.
-func table1() error {
-	env := topology.H100(2)
-	fmt.Println("\nTable 1: Primitive API peer-to-peer performance (H100)")
-
-	// NVLink throughput: PortChannel DMA, 256 MB.
-	{
-		m := machine.New(topology.H100(1))
-		c := core.NewCommunicator(m)
-		const size = 256 << 20
-		src, dst := m.Alloc(0, "src", size), m.Alloc(1, "dst", size)
-		ch, _ := c.NewPortChannelPairEx(0, 1, src, dst, dst, src)
-		m.GPUs[0].Launch("bw", 1, func(k *machine.Kernel) {
-			ch.Put(k, 0, 0, size, 0, 1)
-			ch.Flush(k)
-		})
-		if err := m.Run(); err != nil {
-			return err
-		}
-		bw := float64(size) / float64(m.Now()-m.Model.KernelLaunch)
-		fmt.Printf("  NVLink throughput (GB/s): best %.1f   MSCCL++ (PortChannel) %.1f\n", env.DMABW, bw)
-	}
-	// NVLink latency: MemoryChannel LL packet, 8 B.
-	{
-		m := machine.New(topology.H100(1))
-		c := core.NewCommunicator(m)
-		src, dst := m.Alloc(0, "src", 8), m.Alloc(1, "dst", 8)
-		ch0, ch1 := c.NewMemoryChannelPair(0, 1, src, dst)
-		var lat sim.Duration
-		m.GPUs[0].Launch("lat-send", 1, func(k *machine.Kernel) {
-			ch0.PutPackets(k, 0, 0, 8, 0, 1, 1)
-		})
-		m.GPUs[1].Launch("lat-recv", 1, func(k *machine.Kernel) {
-			t0 := k.Now()
-			ch1.AwaitPackets(k, 1, 8)
-			lat = k.Now() - t0
-		})
-		if err := m.Run(); err != nil {
-			return err
-		}
-		fmt.Printf("  NVLink latency (ns):      best %d    MSCCL++ (MemoryChannel) %d\n", env.IntraLat, lat)
-	}
-	// InfiniBand throughput: PortChannel RDMA, 256 MB across nodes.
-	{
-		m := machine.New(topology.H100(2))
-		c := core.NewCommunicator(m)
-		const size = 256 << 20
-		src, dst := m.Alloc(0, "src", size), m.Alloc(8, "dst", size)
-		ch, _ := c.NewPortChannelPairEx(0, 8, src, dst, dst, src)
-		m.GPUs[0].Launch("ibbw", 1, func(k *machine.Kernel) {
-			ch.Put(k, 0, 0, size, 0, 1)
-			ch.Flush(k)
-		})
-		if err := m.Run(); err != nil {
-			return err
-		}
-		bw := float64(size) / float64(m.Now()-m.Model.KernelLaunch)
-		fmt.Printf("  InfiniBand throughput (GB/s): best %.2f  MSCCL++ (PortChannel) %.2f\n", env.IBBW, bw)
-	}
-	// InfiniBand latency: PortChannel 4 B put+signal end to end.
-	{
-		m := machine.New(topology.H100(2))
-		c := core.NewCommunicator(m)
-		src, dst := m.Alloc(0, "src", 4), m.Alloc(8, "dst", 4)
-		ch0, ch1 := c.NewPortChannelPairEx(0, 8, src, dst, dst, src)
-		var lat sim.Duration
-		m.GPUs[0].Launch("iblat-s", 1, func(k *machine.Kernel) {
-			ch0.PutWithSignal(k, 0, 0, 4, 0, 1)
-		})
-		m.GPUs[8].Launch("iblat-r", 1, func(k *machine.Kernel) {
-			t0 := k.Now()
-			ch1.Wait(k)
-			lat = k.Now() - t0
-		})
-		if err := m.Run(); err != nil {
-			return err
-		}
-		fmt.Printf("  InfiniBand latency (us):  best %.2f  MSCCL++ (PortChannel) %.2f\n",
-			float64(env.IBLat)/1000, float64(lat)/1000)
-	}
-	return nil
-}
-
-// dslVsPrim reproduces the §7.1 DSL-vs-Primitive comparison.
-func dslVsPrim() error {
-	fmt.Println("\nDSL vs Primitive API (AllReduce, A100-40G 1n8g)")
-	type pair struct {
-		name  string
-		size  int64
-		nTB   int
-		build func(ranks int, size int64, nTB int) (*dsl.Program, error)
-		prim  collective.Algorithm
-	}
-	cases := []pair{
-		{"1PA-LL 8KB", 8 << 10, 2, dsl.BuildAllReduce1PA, &collective.AllReduce1PA{TB: 2}},
-		{"1PA-LL 64KB", 64 << 10, 2, dsl.BuildAllReduce1PA, &collective.AllReduce1PA{TB: 2}},
-		{"2PA-HB 1MB", 1 << 20, 4, dsl.BuildAllReduce2PAHB, &collective.AllReduce2PAHB{TB: 4}},
-		{"2PA-HB 16MB", 16 << 20, 8, dsl.BuildAllReduce2PAHB, &collective.AllReduce2PAHB{TB: 8}},
-	}
-	var overheads []float64
-	for _, cse := range cases {
-		prog, err := cse.build(8, cse.size, cse.nTB)
-		if err != nil {
-			return err
-		}
-		pl, err := prog.Lower()
-		if err != nil {
-			return err
-		}
-		// DSL-executed.
-		mD := machine.New(topology.A100_40G(1))
-		mD.MaterializeLimit = 0
-		cD := core.NewCommunicator(mD)
-		inD, outD := allocBufs(mD, cse.size)
-		inst, err := executor.New(cD, pl, inD, outD)
-		if err != nil {
-			return err
-		}
-		var dslT sim.Duration
-		for i := 0; i < 2; i++ {
-			start := mD.Engine.Now()
-			inst.Launch()
-			if err := mD.Run(); err != nil {
-				return err
-			}
-			dslT = mD.Engine.Now() - start
-		}
-		// Primitive.
-		mP := machine.New(topology.A100_40G(1))
-		mP.MaterializeLimit = 0
-		cP := collective.New(mP)
-		inP, outP := allocBufs(mP, cse.size)
-		ex, err := cse.prim.Prepare(cP, inP, outP)
-		if err != nil {
-			return err
-		}
-		var primT sim.Duration
-		for i := 0; i < 2; i++ {
-			if primT, err = cP.Run(ex); err != nil {
-				return err
-			}
-		}
-		ov := float64(dslT-primT) / float64(primT) * 100
-		overheads = append(overheads, ov)
-		fmt.Printf("  %-12s  primitive %8.2fus   DSL %8.2fus   overhead %+.1f%%\n",
-			cse.name, float64(primT)/1000, float64(dslT)/1000, ov)
-	}
-	var sum float64
-	for _, o := range overheads {
-		sum += o
-	}
-	fmt.Printf("  mean DSL overhead: %.1f%% (paper: ~3%%, up to 18%%)\n", sum/float64(len(overheads)))
-	return nil
-}
-
-func allocBufs(m *machine.Machine, size int64) (in, out []*mem.Buffer) {
-	for r := 0; r < len(m.GPUs); r++ {
-		in = append(in, m.Alloc(r, "in", size))
-		out = append(out, m.Alloc(r, "out", size))
-	}
-	return
-}
-
-// ablation reproduces the §7.1/§7.2 gain-breakdown observations.
-func ablation() error {
-	fmt.Println("\nAblations (gain breakdown)")
-	measure := func(env *topology.Env, algo collective.Algorithm, size int64) (sim.Duration, error) {
-		m := machine.New(env)
-		m.MaterializeLimit = 0
-		c := collective.New(m)
-		in, out := allocBufs(m, size)
-		ex, err := algo.Prepare(c, in, out)
-		if err != nil {
-			return 0, err
-		}
-		if _, err := c.Run(ex); err != nil {
-			return 0, err
-		}
-		return c.Run(ex)
-	}
-	// (a) LL vs HB one-phase at 1KB: relaxed synchronization.
-	a100 := topology.A100_40G(1)
-	ll, err := measure(a100, &collective.AllReduce1PA{}, 1<<10)
-	if err != nil {
-		return err
-	}
-	hb, err := measure(a100, &collective.AllReduce1PAHB{}, 1<<10)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  1KB one-phase: LL %0.2fus vs HB-signal %0.2fus (%.0f%% latency cut from LL flags)\n",
-		float64(ll)/1000, float64(hb)/1000, (1-float64(ll)/float64(hb))*100)
-	// (b) PortChannel vs MemoryChannel ring at 1GB (paper: +6.2%).
-	port, err := measure(a100, &collective.AllReduce2PR{}, 1<<30)
-	if err != nil {
-		return err
-	}
-	memv, err := measure(a100, &collective.AllReduce2PR{UseMemoryChannel: true}, 1<<30)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  1GB 2PR: PortChannel %.2fms vs MemoryChannel %.2fms (+%.1f%% bandwidth)\n",
-		float64(port)/1e6, float64(memv)/1e6, (float64(memv)/float64(port)-1)*100)
-	// (c) SwitchChannel vs MemoryChannel 2PA on H100 (paper: up to +56% BW).
-	h100 := topology.H100(1)
-	sw, err := measure(h100, &collective.AllReduce2PASwitch{}, 256<<20)
-	if err != nil {
-		return err
-	}
-	mc, err := measure(h100, &collective.AllReduce2PAHB{}, 256<<20)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("  256MB H100: SwitchChannel %.2fms vs MemoryChannel %.2fms (+%.0f%% bandwidth)\n",
-		float64(sw)/1e6, float64(mc)/1e6, (float64(mc)/float64(sw)-1)*100)
-	return nil
 }

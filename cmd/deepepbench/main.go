@@ -2,62 +2,24 @@
 // dispatch (FP8) and combine (BF16) bandwidth on two H100 nodes (16 GPUs,
 // DeepSeek-V3 settings), comparing the NVSHMEM-IBGDA stack with MSCCL++
 // PortChannels.
+//
+// It is a thin wrapper over the internal/scenario registry ("fig13"); use
+// cmd/paperbench for listing, JSON records and golden-output checks.
 package main
 
 import (
-	"fmt"
 	"log"
+	"os"
 
-	"mscclpp/internal/benchkit"
-	"mscclpp/internal/moe"
+	"mscclpp/internal/scenario"
 )
 
 func main() {
-	cfg := moe.DefaultConfig()
-	fmt.Println("Figure 13: DeepEP on two H100 nodes (16 GPUs, hidden 7168, top-k 8, 256 experts)")
-	fmt.Printf("%-8s | %12s %12s | %12s %12s\n", "tokens",
-		"disp NVSHMEM", "disp MSCCL++", "comb NVSHMEM", "comb MSCCL++")
-	var tokenSizes []int
-	for tokens := 128; tokens <= 65536; tokens *= 2 {
-		tokenSizes = append(tokenSizes, tokens)
+	s, ok := scenario.Get("fig13")
+	if !ok {
+		log.Fatal("fig13: not registered")
 	}
-	// Each (tokens, phase, transport) cell is an independent simulation with
-	// its own engine; fan the whole grid out and print rows in order.
-	phases := []string{"dispatch", "combine"}
-	transports := []moe.Transport{moe.TransportIBGDA, moe.TransportMSCCLPP}
-	cells := len(phases) * len(transports)
-	bw := make([]float64, len(tokenSizes)*cells)
-	errs := make([]error, len(tokenSizes)*cells)
-	benchkit.Parallel(len(bw), func(idx int) {
-		row, cell := idx/cells, idx%cells
-		phase, tr := phases[cell/len(transports)], transports[cell%len(transports)]
-		e, err := moe.New(moe.Paper13Env(), cfg, tr)
-		if err != nil {
-			errs[idx] = err
-			return
-		}
-		var res moe.Result
-		if phase == "dispatch" {
-			res, err = e.Dispatch(tokenSizes[row])
-		} else {
-			res, err = e.Combine(tokenSizes[row])
-		}
-		if err != nil {
-			errs[idx] = err
-			return
-		}
-		bw[idx] = res.AlgoBWGBs
-	})
-	for _, err := range errs {
-		if err != nil {
-			log.Fatal(err)
-		}
+	if _, err := s.Exec(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
-	for i, tokens := range tokenSizes {
-		row := bw[i*cells : (i+1)*cells]
-		fmt.Printf("%-8d | %9.1f GB/s %9.1f GB/s | %9.1f GB/s %9.1f GB/s\n",
-			tokens, row[0], row[1], row[2], row[3])
-	}
-	fmt.Println("(expected: curves rise and saturate near the 48.94 GB/s NIC rate;")
-	fmt.Println(" MSCCL++ CPU-proxy RDMA shows no noticeable difference vs IBGDA)")
 }

@@ -3,6 +3,9 @@
 // Figure 12 (DeepSeek-V3 decode throughput with SGLang, TP=16 on two H100
 // nodes), and the §7.3 vLLM custom-AllReduce-kernel comparison.
 //
+// It is a thin wrapper over the internal/scenario registry; use
+// cmd/paperbench for listing, JSON records and golden-output checks.
+//
 // Usage:
 //
 //	inferbench -experiment all|fig11|fig12|customar
@@ -10,122 +13,34 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
+	"os"
 
-	"mscclpp/internal/benchkit"
-	"mscclpp/internal/inference"
-	"mscclpp/internal/sim"
-	"mscclpp/internal/topology"
+	"mscclpp/internal/scenario"
 )
+
+// experiments are the inference scenarios in this command's traditional
+// output order; "customar" is the registry name of the §7.3 comparison.
+var experiments = []string{"fig11", "fig12", "customar"}
 
 func main() {
 	exp := flag.String("experiment", "all", "fig11|fig12|customar|all")
 	flag.Parse()
-	run := func(name string, fn func()) {
-		if *exp == "all" || *exp == name {
-			fn()
+	matched := false
+	for _, name := range experiments {
+		if *exp != "all" && *exp != name {
+			continue
+		}
+		matched = true
+		s, ok := scenario.Get(name)
+		if !ok {
+			log.Fatalf("%s: not registered", name)
+		}
+		if _, err := s.Exec(os.Stdout); err != nil {
+			log.Fatalf("%s: %v", name, err)
 		}
 	}
-	run("fig11", fig11)
-	run("fig12", fig12)
-	run("customar", customAR)
-	_ = log.Flags()
-}
-
-func fig11() {
-	envFn := func() *topology.Env { return topology.A100_80G(1) }
-	env := envFn()
-	model := inference.Llama3x70B(8)
-	nccl := inference.NewARTimer(envFn, inference.LibNCCL)
-	mpp := inference.NewARTimer(envFn, inference.LibMSCCLPP)
-	fmt.Println("\nFigure 11: Llama3-70b decode speedup, MSCCL++ over NCCL (vLLM, TP=8, A100-80G)")
-	fmt.Printf("  %-18s %12s %12s %9s\n", "bsz x seqlen", "NCCL (ms)", "MSCCL++ (ms)", "speedup")
-	// The (bsz, seqlen) grid points are independent simulations: fan them
-	// out and print from index-stable slots so output order is unchanged.
-	type combo struct{ bsz, seqlen int }
-	var combos []combo
-	for _, bsz := range []int{1, 2, 4, 8, 16, 32, 64} {
-		for _, seqlen := range []int{128, 512, 2048} {
-			combos = append(combos, combo{bsz, seqlen})
-		}
+	if !matched {
+		log.Fatalf("unknown experiment %q", *exp)
 	}
-	times := make([][2]sim.Duration, len(combos))
-	benchkit.Parallel(len(combos), func(i int) {
-		c := combos[i]
-		times[i][0] = inference.DecodeStep(env, model, c.bsz, c.seqlen, nccl.Time)
-		times[i][1] = inference.DecodeStep(env, model, c.bsz, c.seqlen, mpp.Time)
-	})
-	var speedups []float64
-	for i, c := range combos {
-		tN, tM := times[i][0], times[i][1]
-		sp := inference.Speedup(tN, tM)
-		speedups = append(speedups, sp)
-		fmt.Printf("  bsz=%-4d seq=%-6d %12.2f %12.2f %8.2fx\n",
-			c.bsz, c.seqlen, float64(tN)/1e6, float64(tM)/1e6, sp)
-	}
-	fmt.Printf("  average decode speedup: %.2fx (paper: 1.11x)\n", benchkit.Geomean(speedups))
-	// Prefill comparison (paper: similar or up to 1.06x).
-	tN := inference.PrefillStep(env, model, 8, 1024, nccl.Time)
-	tM := inference.PrefillStep(env, model, 8, 1024, mpp.Time)
-	fmt.Printf("  prefill (bsz=8, seq=1024) speedup: %.2fx (paper: up to 1.06x)\n",
-		inference.Speedup(tN, tM))
-}
-
-func fig12() {
-	envFn := func() *topology.Env { return topology.H100(2) }
-	env := envFn()
-	model := inference.DeepSeekV3(16)
-	nccl := inference.NewARTimer(envFn, inference.LibNCCL)
-	mpp := inference.NewARTimer(envFn, inference.LibMSCCLPP)
-	fmt.Println("\nFigure 12: DeepSeek-V3 decode throughput (SGLang, TP=16, 2x H100 nodes, 1024 in / 1024 out)")
-	fmt.Printf("  %-6s %16s %16s %9s\n", "bsz", "baseline tok/s", "MSCCL++ tok/s", "speedup")
-	bszs := []int{1, 2, 4, 8, 16, 32, 64}
-	times := make([][2]sim.Duration, len(bszs))
-	benchkit.Parallel(len(bszs), func(i int) {
-		times[i][0] = inference.DecodeStep(env, model, bszs[i], 1024, nccl.Time)
-		times[i][1] = inference.DecodeStep(env, model, bszs[i], 1024, mpp.Time)
-	})
-	var speedups []float64
-	for i, bsz := range bszs {
-		tN, tM := times[i][0], times[i][1]
-		sp := inference.Speedup(tN, tM)
-		speedups = append(speedups, sp)
-		fmt.Printf("  %-6d %16.0f %16.0f %8.2fx\n", bsz,
-			inference.DecodeThroughput(bsz, tN), inference.DecodeThroughput(bsz, tM), sp)
-	}
-	fmt.Printf("  average decode speedup: %.2fx (paper: 1.31x)\n", benchkit.Geomean(speedups))
-}
-
-func customAR() {
-	envFn := func() *topology.Env { return topology.A100_80G(1) }
-	custom := inference.NewARTimer(envFn, inference.LibVLLMCustom)
-	mpp := inference.NewARTimer(envFn, inference.LibMSCCLPP)
-	fmt.Println("\nvLLM custom AllReduce kernel vs MSCCL++ (A100-80G, TP=8)")
-	msgs := []int64{2 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20} // vLLM uses its custom kernel only for small inputs
-	times := make([][2]sim.Duration, len(msgs))
-	benchkit.Parallel(len(msgs), func(i int) {
-		times[i][0], times[i][1] = custom.Time(msgs[i]), mpp.Time(msgs[i])
-	})
-	var ratios []float64
-	for i, msg := range msgs {
-		tc, tm := times[i][0], times[i][1]
-		r := inference.Speedup(tc, tm)
-		ratios = append(ratios, r)
-		fmt.Printf("  msg %-6s custom %8.2fus  MSCCL++ %8.2fus  ratio %.2fx\n",
-			benchkit.HumanSize(msg), float64(tc)/1000, float64(tm)/1000, r)
-	}
-	fmt.Printf("  geomean MSCCL++ advantage: %.2fx (paper: 1.4x geomean, up to 3x)\n",
-		benchkit.Geomean(ratios))
-	// End-to-end decode with the custom kernel vs MSCCL++.
-	env := envFn()
-	model := inference.Llama3x70B(8)
-	var sps []float64
-	for _, bsz := range []int{1, 8, 32} {
-		tC := inference.DecodeStep(env, model, bsz, 512, custom.Time)
-		tM := inference.DecodeStep(env, model, bsz, 512, mpp.Time)
-		sps = append(sps, inference.Speedup(tC, tM))
-	}
-	fmt.Printf("  end-to-end decode speedup vs custom kernel: %.2fx geomean (paper: 1.04x avg, up to 1.11x)\n",
-		benchkit.Geomean(sps))
 }

@@ -1,0 +1,225 @@
+// Command paperbench drives the paper-artifact scenario registry
+// (internal/scenario): it lists, runs, and regression-checks every table
+// and figure the repository reproduces.
+//
+// Usage:
+//
+//	paperbench -list
+//	paperbench -run all|name[,name...]            # print human-readable text
+//	paperbench -run all -json                     # print canonical JSON records
+//	paperbench -run all -check                    # diff text+JSON against goldens
+//	paperbench -run all -update                   # regenerate golden files
+//
+// Golden files live under -golden (default internal/scenario/testdata/golden,
+// relative to the repository root — run `go run ./cmd/paperbench` from
+// there). Each scenario owns a <name>.txt (human-readable text) and a
+// <name>.json (canonical record); -check recomputes both and fails on any
+// byte difference, which is how CI gates every paper artifact against
+// drift. See internal/scenario/README.md for the add-a-scenario workflow.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mscclpp/internal/scenario"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list registered scenarios and exit")
+	run := flag.String("run", "", "scenario to run: all or comma-separated names")
+	asJSON := flag.Bool("json", false, "emit canonical JSON records instead of text")
+	check := flag.Bool("check", false, "diff text and JSON output against golden files")
+	update := flag.Bool("update", false, "regenerate golden files")
+	golden := flag.String("golden", filepath.Join("internal", "scenario", "testdata", "golden"),
+		"golden directory (repo-root relative)")
+	flag.Parse()
+
+	if *list {
+		listScenarios()
+		return
+	}
+	if *run == "" {
+		fmt.Fprintln(os.Stderr, "paperbench: nothing to do; use -list or -run <name|all>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *check && *update {
+		fmt.Fprintln(os.Stderr, "paperbench: -check and -update are mutually exclusive")
+		os.Exit(2)
+	}
+	scenarios, err := resolve(*run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(2)
+	}
+	switch {
+	case *check:
+		if !checkGoldens(scenarios, *golden) {
+			os.Exit(1)
+		}
+	case *update:
+		if err := updateGoldens(scenarios, *golden); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		if err := runScenarios(scenarios, *asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func listScenarios() {
+	all := scenario.All()
+	wName := len("NAME")
+	for _, s := range all {
+		if len(s.Name) > wName {
+			wName = len(s.Name)
+		}
+	}
+	fmt.Printf("%-*s  %-5s  %s\n", wName, "NAME", "SPEED", "TITLE")
+	for _, s := range all {
+		speed := "fast"
+		if s.Slow {
+			speed = "slow"
+		}
+		fmt.Printf("%-*s  %-5s  %s\n", wName, s.Name, speed, s.Title)
+	}
+}
+
+// resolve expands "all" or a comma-separated name list into scenarios,
+// preserving registry order for "all" and request order otherwise.
+func resolve(spec string) ([]scenario.Scenario, error) {
+	if spec == "all" {
+		return scenario.All(), nil
+	}
+	var out []scenario.Scenario
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s, ok := scenario.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (known: %s)",
+				name, strings.Join(scenario.Names(), ", "))
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty scenario list %q", spec)
+	}
+	return out, nil
+}
+
+// runScenarios executes each scenario, streaming either its human-readable
+// text or its canonical JSON record (a stream of concatenated records —
+// `jq -s` turns it into an array) to stdout.
+func runScenarios(scenarios []scenario.Scenario, asJSON bool) error {
+	for _, s := range scenarios {
+		var textOut io.Writer
+		if !asJSON {
+			textOut = os.Stdout
+		}
+		rec, err := s.Exec(textOut)
+		if err != nil {
+			return err
+		}
+		if asJSON {
+			if err := rec.Encode(os.Stdout); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// render executes one scenario and returns the exact bytes of both golden
+// views.
+func render(s scenario.Scenario) (text, jsonRec []byte, err error) {
+	var buf bytes.Buffer
+	rec, err := s.Exec(&buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	var jb bytes.Buffer
+	if err := rec.Encode(&jb); err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), jb.Bytes(), nil
+}
+
+func goldenPaths(dir string, s scenario.Scenario) (txt, jsn string) {
+	return filepath.Join(dir, s.Name+".txt"), filepath.Join(dir, s.Name+".json")
+}
+
+func checkGoldens(scenarios []scenario.Scenario, dir string) bool {
+	ok := true
+	for _, s := range scenarios {
+		text, jsonRec, err := render(s)
+		if err != nil {
+			fmt.Printf("FAIL  %-10s %v\n", s.Name, err)
+			ok = false
+			continue
+		}
+		txtPath, jsnPath := goldenPaths(dir, s)
+		drift := compareGolden(s.Name, "text", txtPath, text)
+		drift = compareGolden(s.Name, "json", jsnPath, jsonRec) || drift
+		if drift {
+			ok = false
+		} else {
+			fmt.Printf("ok    %s\n", s.Name)
+		}
+	}
+	if !ok {
+		fmt.Println("\ngolden drift detected; inspect with -run <name>, then refresh intentional changes with -update")
+	}
+	return ok
+}
+
+// compareGolden diffs got against the committed golden file, reporting the
+// first differing line via scenario.DiffGolden. It returns true on drift.
+func compareGolden(name, kind, path string, got []byte) bool {
+	want, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("FAIL  %-10s missing golden %s (run paperbench -run %s -update)\n", name, path, name)
+		return true
+	}
+	d := scenario.DiffGolden(got, want)
+	if d == "" {
+		return false
+	}
+	fmt.Printf("FAIL  %-10s %s drift vs %s\n", name, kind, path)
+	for _, line := range strings.Split(d, "\n") {
+		fmt.Printf("      %s\n", line)
+	}
+	return true
+}
+
+func updateGoldens(scenarios []scenario.Scenario, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, s := range scenarios {
+		text, jsonRec, err := render(s)
+		if err != nil {
+			return err
+		}
+		txtPath, jsnPath := goldenPaths(dir, s)
+		if err := os.WriteFile(txtPath, text, 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsnPath, jsonRec, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("updated  %s\n", s.Name)
+	}
+	return nil
+}

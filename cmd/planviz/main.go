@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -25,37 +26,52 @@ func main() {
 	asJSON := flag.Bool("json", false, "dump full JSON plan")
 	flag.Parse()
 
+	if err := render(os.Stdout, *program, *ranks, *size, *tb, *asJSON); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// lower builds and lowers the named bundled program.
+func lower(program string, ranks int, size int64, tb int) (*plan.Plan, error) {
 	var prog *dsl.Program
 	var err error
-	switch *program {
+	switch program {
 	case "1pa":
-		prog, err = dsl.BuildAllReduce1PA(*ranks, *size, *tb)
+		prog, err = dsl.BuildAllReduce1PA(ranks, size, tb)
 	case "2pahb":
-		prog, err = dsl.BuildAllReduce2PAHB(*ranks, *size, *tb)
+		prog, err = dsl.BuildAllReduce2PAHB(ranks, size, tb)
 	case "ringrs":
-		prog, err = dsl.BuildRingReduceScatter(*ranks, *size)
+		prog, err = dsl.BuildRingReduceScatter(ranks, size)
 	default:
-		log.Fatalf("unknown program %q", *program)
+		return nil, fmt.Errorf("unknown program %q", program)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
-	pl, err := prog.Lower()
+	return prog.Lower()
+}
+
+// render lowers the program and writes either the JSON plan or the
+// human-readable summary to w.
+func render(w io.Writer, program string, ranks int, size int64, tb int, asJSON bool) error {
+	pl, err := lower(program, ranks, size, tb)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if *asJSON {
+	if asJSON {
 		data, err := pl.Marshal()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		os.Stdout.Write(data)
-		fmt.Println()
-		return
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w)
+		return err
 	}
-	fmt.Printf("plan %q (%s): %d ranks x %d TBs, in=%dB out=%dB\n",
+	fmt.Fprintf(w, "plan %q (%s): %d ranks x %d TBs, in=%dB out=%dB\n",
 		pl.Name, pl.Collective, pl.Ranks, pl.NumTB, pl.InSize, pl.OutSize)
-	fmt.Printf("channels: %d, scratch buffers: %d, total ops: %d\n",
+	fmt.Fprintf(w, "channels: %d, scratch buffers: %d, total ops: %d\n",
 		len(pl.Channels), len(pl.Scratch), pl.OpCount())
 	hist := map[plan.OpCode]int{}
 	for _, tbs := range pl.Programs {
@@ -65,20 +81,21 @@ func main() {
 			}
 		}
 	}
-	fmt.Println("op histogram:")
+	fmt.Fprintln(w, "op histogram:")
 	for _, code := range []plan.OpCode{plan.OpPut, plan.OpPutWithSignal, plan.OpPutPackets,
 		plan.OpReducePut, plan.OpSignal, plan.OpWait, plan.OpFlush, plan.OpAwaitPackets,
 		plan.OpChanReduce, plan.OpLocalCopy, plan.OpLocalReduce, plan.OpTBSync,
 		plan.OpGridBarrier, plan.OpSwitchReduce, plan.OpSwitchBcast} {
 		if n := hist[code]; n > 0 {
-			fmt.Printf("  %-18s %d\n", code, n)
+			fmt.Fprintf(w, "  %-18s %d\n", code, n)
 		}
 	}
-	fmt.Println("\nrank 0, thread block 0:")
+	fmt.Fprintln(w, "\nrank 0, thread block 0:")
 	for i, op := range pl.Programs[0][0] {
-		fmt.Printf("  %3d: %-16s ch=%-3d dst=[%s+%d,%d] src=[%s+%d,%d] flag=%d\n",
+		fmt.Fprintf(w, "  %3d: %-16s ch=%-3d dst=[%s+%d,%d] src=[%s+%d,%d] flag=%d\n",
 			i, op.Code, op.Channel,
 			op.Dst.Buf.Kind, op.Dst.Off, op.Dst.Size,
 			op.Src.Buf.Kind, op.Src.Off, op.Src.Size, op.Flag)
 	}
+	return nil
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mscclpp/internal/plan"
+)
+
+// TestRenderSummary smoke-tests the human-readable rendering of every
+// bundled program and checks structural invariants of the output: the
+// header identifies the plan, the op histogram sums to the reported total
+// op count, and the rank-0/TB-0 trace lists every op of that thread block.
+func TestRenderSummary(t *testing.T) {
+	histRe := regexp.MustCompile(`^  ([a-z_]+) +(\d+)$`)
+	opRe := regexp.MustCompile(`^ +\d+: `)
+	for _, program := range []string{"1pa", "2pahb", "ringrs"} {
+		t.Run(program, func(t *testing.T) {
+			const ranks, size, tb = 8, 64 << 10, 2
+			var buf bytes.Buffer
+			if err := render(&buf, program, ranks, size, tb, false); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, fmt.Sprintf(": %d ranks x ", ranks)) {
+				t.Errorf("header does not report %d ranks:\n%s", ranks, out)
+			}
+			// The lowered plan is the ground truth for the invariants.
+			pl, err := lower(program, ranks, size, tb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantHeader := fmt.Sprintf("plan %q (%s): %d ranks x %d TBs, in=%dB out=%dB",
+				pl.Name, pl.Collective, pl.Ranks, pl.NumTB, pl.InSize, pl.OutSize)
+			if !strings.Contains(out, wantHeader) {
+				t.Errorf("missing header %q in:\n%s", wantHeader, out)
+			}
+			// Histogram counts must sum to the reported total op count.
+			histSum := 0
+			for _, line := range strings.Split(out, "\n") {
+				if m := histRe.FindStringSubmatch(line); m != nil {
+					n, err := strconv.Atoi(m[2])
+					if err != nil || n <= 0 {
+						t.Errorf("bad histogram line %q", line)
+						continue
+					}
+					histSum += n
+				}
+			}
+			if histSum != pl.OpCount() {
+				t.Errorf("op histogram sums to %d, plan has %d ops", histSum, pl.OpCount())
+			}
+			// The rank-0/TB-0 trace must list exactly that program's ops.
+			traceLines := 0
+			for _, line := range strings.Split(out, "\n") {
+				if opRe.MatchString(line) {
+					traceLines++
+				}
+			}
+			if want := len(pl.Programs[0][0]); traceLines != want {
+				t.Errorf("trace lists %d ops, rank 0 TB 0 has %d", traceLines, want)
+			}
+		})
+	}
+}
+
+// TestRenderJSON checks the -json mode round-trips through the plan
+// loader: the emitted bytes are exactly Marshal output plus a newline, and
+// they unmarshal into a plan that passes validation.
+func TestRenderJSON(t *testing.T) {
+	const ranks, size, tb = 8, 64 << 10, 2
+	var buf bytes.Buffer
+	if err := render(&buf, "2pahb", ranks, size, tb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if len(out) == 0 || out[len(out)-1] != '\n' {
+		t.Fatal("JSON output must end with a newline")
+	}
+	pl, err := plan.Unmarshal(bytes.TrimSuffix(out, []byte("\n")))
+	if err != nil {
+		t.Fatalf("emitted JSON does not load: %v", err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("emitted plan fails validation: %v", err)
+	}
+	if pl.Ranks != ranks {
+		t.Errorf("plan has %d ranks, want %d", pl.Ranks, ranks)
+	}
+	if pl.OpCount() == 0 {
+		t.Error("plan has no ops")
+	}
+}
+
+// TestRenderUnknownProgram checks the error path.
+func TestRenderUnknownProgram(t *testing.T) {
+	var buf bytes.Buffer
+	err := render(&buf, "nope", 8, 1024, 2, false)
+	if err == nil || !strings.Contains(err.Error(), `unknown program "nope"`) {
+		t.Fatalf("want unknown-program error, got %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("error path wrote output: %q", buf.String())
+	}
+}

@@ -41,11 +41,12 @@ func LargeSizes() []int64 {
 	return out
 }
 
-// Point is one measurement.
+// Point is one measurement. Dur is exact virtual time (ns), so a marshaled
+// Point is a canonical, drift-free record of the simulation result.
 type Point struct {
-	Size int64
-	Dur  sim.Duration
-	Algo string
+	Size int64        `json:"size"`
+	Dur  sim.Duration `json:"dur_ns"`
+	Algo string       `json:"algo,omitempty"`
 }
 
 // LatencyUS returns the latency in microseconds.
@@ -61,8 +62,8 @@ func (p Point) AlgoBW() float64 {
 
 // Series is a named sweep result.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // MeasureFn times one library's collective at one size.

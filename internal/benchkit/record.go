@@ -1,0 +1,82 @@
+package benchkit
+
+// The io-agnostic JSON sink: alongside the human-readable tables that
+// PrintLatencyTable/PrintBandwidthTable render, a Record accumulates the
+// same results in canonical machine-readable form. Durations stay exact
+// virtual-time integers (ns), so two runs of a deterministic scenario
+// marshal to byte-identical JSON — which is what lets the golden-output
+// regression harness (internal/scenario, cmd/paperbench) diff paper
+// artifacts mechanically.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Metric is one named scalar result (a speedup, a bandwidth, an exact
+// virtual-time duration stored as a float64 — exact up to 2^53 ns).
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// TableRecord is the machine-readable twin of one printed table: the raw
+// per-size series behind a latency or bandwidth panel.
+type TableRecord struct {
+	Kind   string   `json:"kind"` // "latency_us" | "algobw_gbs"
+	Title  string   `json:"title"`
+	Series []Series `json:"series"`
+}
+
+// Record is the canonical machine-readable result of one scenario run.
+// Tables and Metrics appear in emission order, which is deterministic for
+// deterministic scenarios. The zero value is usable; all methods are
+// nil-safe so text-only callers can pass a nil *Record.
+type Record struct {
+	Name    string        `json:"name"`
+	Title   string        `json:"title"`
+	Tables  []TableRecord `json:"tables,omitempty"`
+	Metrics []Metric      `json:"metrics,omitempty"`
+}
+
+// AddTable appends a table to the record. The series — including each
+// Points slice — are deep-copied so later caller mutations cannot alias
+// into the record.
+func (r *Record) AddTable(kind, title string, series []Series) {
+	if r == nil {
+		return
+	}
+	cp := make([]Series, len(series))
+	for i, s := range series {
+		cp[i] = Series{Name: s.Name, Points: append([]Point(nil), s.Points...)}
+	}
+	r.Tables = append(r.Tables, TableRecord{Kind: kind, Title: title, Series: cp})
+}
+
+// AddMetric appends a named scalar to the record.
+func (r *Record) AddMetric(name, unit string, value float64) {
+	if r == nil {
+		return
+	}
+	r.Metrics = append(r.Metrics, Metric{Name: name, Unit: unit, Value: value})
+}
+
+// AddDuration appends an exact virtual-time duration (ns) as a metric.
+func (r *Record) AddDuration(name string, d int64) {
+	r.AddMetric(name, "ns", float64(d))
+}
+
+// Encode writes the record to w in canonical form: two-space-indented JSON
+// with a trailing newline. This is the byte format of the committed golden
+// files; any change here invalidates every golden at once.
+func (r *Record) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("record %q: %w", r.Name, err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,83 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRecordEncodeCanonical pins the golden byte format: two-space
+// indentation, emission order preserved, trailing newline, and exact
+// integer durations. Changing this encoding invalidates every committed
+// golden at once, so it must be deliberate.
+func TestRecordEncodeCanonical(t *testing.T) {
+	rec := &Record{Name: "demo", Title: "Demo artifact"}
+	rec.AddTable("latency_us", "demo (small messages)", []Series{
+		{Name: "NCCL", Points: []Point{{Size: 1024, Dur: 23700, Algo: "ring"}}},
+	})
+	rec.AddMetric("speedup geomean", "x", 2.14)
+	rec.AddDuration("one-phase ll", 3850)
+
+	var a, b bytes.Buffer
+	if err := rec.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("Encode is not deterministic")
+	}
+	out := a.String()
+	if !strings.HasSuffix(out, "}\n") {
+		t.Errorf("missing trailing newline: %q", out[len(out)-4:])
+	}
+	for _, want := range []string{
+		`"name": "demo"`,
+		`"kind": "latency_us"`,
+		`"dur_ns": 23700`,
+		`"algo": "ring"`,
+		`"value": 2.14`,
+		`"unit": "ns"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoded record missing %s:\n%s", want, out)
+		}
+	}
+	// The canonical form must round-trip.
+	var back Record
+	if err := json.Unmarshal(a.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Name != "demo" || len(back.Tables) != 1 || len(back.Metrics) != 2 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+	if back.Tables[0].Series[0].Points[0].Dur != 23700 {
+		t.Errorf("duration not exact after round-trip")
+	}
+}
+
+// TestRecordNilSafe verifies text-only callers can pass a nil record.
+func TestRecordNilSafe(t *testing.T) {
+	var rec *Record
+	rec.AddTable("latency_us", "t", nil)
+	rec.AddMetric("m", "x", 1)
+	rec.AddDuration("d", 2)
+}
+
+// TestRecordAddTableCopies verifies later mutation of the caller's series
+// — including the nested Points buffers — does not alias into the record.
+func TestRecordAddTableCopies(t *testing.T) {
+	series := []Series{{Name: "a", Points: []Point{{Size: 1, Dur: 10}}}}
+	rec := &Record{}
+	rec.AddTable("latency_us", "t", series)
+	series[0].Name = "mutated"
+	series[0].Points[0].Dur = 999
+	if got := rec.Tables[0].Series[0].Name; got != "a" {
+		t.Errorf("record aliases caller series slice: %q", got)
+	}
+	if got := rec.Tables[0].Series[0].Points[0].Dur; got != 10 {
+		t.Errorf("record aliases caller points slice: dur %d", got)
+	}
+}

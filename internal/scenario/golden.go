@@ -1,0 +1,26 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// DiffGolden compares a regenerated artifact against its committed golden
+// and returns "" when byte-identical, otherwise a human-readable
+// description of the first differing line. It is the single drift
+// renderer shared by the golden replay test and cmd/paperbench -check, so
+// both report drift identically.
+func DiffGolden(got, want []byte) string {
+	if bytes.Equal(got, want) {
+		return ""
+	}
+	gl := strings.Split(string(got), "\n")
+	wl := strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			return fmt.Sprintf("line %d:\nwant: %q\ngot:  %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d lines, got %d", len(wl), len(gl))
+}

@@ -1,0 +1,79 @@
+package scenario
+
+// All paper artifacts are registered here, in one place, so presentation
+// order (paperbench -run all, -list) is explicit rather than an accident
+// of file-init ordering. Slow scenarios are the multi-panel figure grids
+// whose 1GB sweeps dominate runtime; they are skipped by the default
+// `go test` golden replay (run them with -tags slow) but always covered by
+// `paperbench -run all -check`.
+
+import "mscclpp/internal/topology"
+
+func init() {
+	Register(Scenario{
+		Name:  "table1",
+		Title: "Table 1: Primitive API peer-to-peer performance (H100)",
+		Run:   table1,
+	})
+	Register(Scenario{
+		Name:  "fig7",
+		Title: "Figure 7: AllReduce, A100-40G (1n8g, 2n16g, 4n32g)",
+		Slow:  true,
+		Run: func(r *Report) error {
+			return collFigure(r, "Figure 7: AllReduce, A100-40G", topology.A100_40G, allReduceFns())
+		},
+	})
+	Register(Scenario{
+		Name:  "fig8",
+		Title: "Figure 8: AllGather, A100-40G (1n8g, 2n16g, 4n32g)",
+		Slow:  true,
+		Run: func(r *Report) error {
+			return collFigure(r, "Figure 8: AllGather, A100-40G", topology.A100_40G, allGatherFns())
+		},
+	})
+	Register(Scenario{
+		Name:  "fig9",
+		Title: "Figure 9: AllReduce, H100 (NVLS)",
+		Slow:  true,
+		Run: func(r *Report) error {
+			return singleNodeFigure(r, "Figure 9: AllReduce, H100 (NVLS)", topology.H100(1), allReduceFns())
+		},
+	})
+	Register(Scenario{
+		Name:  "fig10",
+		Title: "Figure 10: AllReduce, MI300x (RCCL baseline)",
+		Run: func(r *Report) error {
+			return singleNodeFigure(r, "Figure 10: AllReduce, MI300x (RCCL baseline)", topology.MI300x(1), allReduceFns())
+		},
+	})
+	Register(Scenario{
+		Name:  "dslvsprim",
+		Title: "DSL vs Primitive API overhead (§7.1, AllReduce, A100-40G 1n8g)",
+		Run:   dslVsPrim,
+	})
+	Register(Scenario{
+		Name:  "ablation",
+		Title: "Gain-breakdown ablations (§7.1/§7.2)",
+		Run:   ablation,
+	})
+	Register(Scenario{
+		Name:  "fig11",
+		Title: "Figure 11: Llama3-70B decode speedup (vLLM, TP=8, A100-80G)",
+		Run:   fig11,
+	})
+	Register(Scenario{
+		Name:  "fig12",
+		Title: "Figure 12: DeepSeek-V3 decode throughput (SGLang, TP=16, 2x H100)",
+		Run:   fig12,
+	})
+	Register(Scenario{
+		Name:  "customar",
+		Title: "vLLM custom AllReduce kernel vs MSCCL++ (§7.3, A100-80G, TP=8)",
+		Run:   customAR,
+	})
+	Register(Scenario{
+		Name:  "fig13",
+		Title: "Figure 13: DeepEP dispatch/combine bandwidth (2x H100, 16 GPUs)",
+		Run:   fig13,
+	})
+}

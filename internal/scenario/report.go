@@ -1,0 +1,72 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"mscclpp/internal/benchkit"
+)
+
+// Report is the dual-view writer a scenario emits through: Printf/Println
+// render the human-readable text (byte-identical to what the original
+// bench commands printed), while the table and metric methods additionally
+// land the underlying numbers in the canonical benchkit.Record. Either
+// side may be absent: a nil writer discards text (paperbench -json), and a
+// nil record is tolerated (benchkit.Record methods are nil-safe) for
+// callers that construct a text-only Report directly.
+type Report struct {
+	w   io.Writer
+	rec *benchkit.Record
+}
+
+// NewReport builds a report over a text sink and a record sink; both are
+// optional.
+func NewReport(w io.Writer, rec *benchkit.Record) *Report {
+	if w == nil {
+		w = io.Discard
+	}
+	return &Report{w: w, rec: rec}
+}
+
+// Printf writes formatted text output.
+func (r *Report) Printf(format string, args ...any) {
+	fmt.Fprintf(r.w, format, args...)
+}
+
+// Println writes a text line.
+func (r *Report) Println(args ...any) {
+	fmt.Fprintln(r.w, args...)
+}
+
+// Metric records a named scalar in the machine-readable record only (the
+// scenario prints its own text rendering of the value).
+func (r *Report) Metric(name, unit string, value float64) {
+	r.rec.AddMetric(name, unit, value)
+}
+
+// Duration records an exact virtual-time duration (ns) in the record only.
+func (r *Report) Duration(name string, d int64) {
+	r.rec.AddDuration(name, d)
+}
+
+// LatencyTable renders a small-message latency table and records the raw
+// series.
+func (r *Report) LatencyTable(title string, series []benchkit.Series) {
+	benchkit.PrintLatencyTable(r.w, title, series)
+	r.rec.AddTable("latency_us", title, series)
+}
+
+// BandwidthTable renders a large-message AlgoBW table and records the raw
+// series.
+func (r *Report) BandwidthTable(title string, series []benchkit.Series) {
+	benchkit.PrintBandwidthTable(r.w, title, series)
+	r.rec.AddTable("algobw_gbs", title, series)
+}
+
+// Speedup prints the per-size speedup summary of target over base (exact
+// SpeedupSummary text) and records geomean/max under metricPrefix.
+func (r *Report) Speedup(label, metricPrefix string, base, target benchkit.Series) {
+	geo, max := benchkit.SpeedupSummary(r.w, label, base, target)
+	r.rec.AddMetric(metricPrefix+" geomean", "x", geo)
+	r.rec.AddMetric(metricPrefix+" max", "x", max)
+}

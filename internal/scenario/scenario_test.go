@@ -1,0 +1,113 @@
+package scenario_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mscclpp/internal/scenario"
+)
+
+const goldenDir = "testdata/golden"
+
+// TestRegistry checks the registry's structural invariants: every scenario
+// is well-formed, names are unique (Register enforces it at init; this
+// guards the accessors), and lookups round-trip.
+func TestRegistry(t *testing.T) {
+	all := scenario.All()
+	if len(all) == 0 {
+		t.Fatal("no scenarios registered")
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.Title == "" || s.Run == nil {
+			t.Errorf("malformed scenario %+v", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		got, ok := scenario.Get(s.Name)
+		if !ok || got.Name != s.Name || got.Title != s.Title {
+			t.Errorf("Get(%q) does not round-trip", s.Name)
+		}
+	}
+	if _, ok := scenario.Get("no-such-scenario"); ok {
+		t.Error("Get of unknown name succeeded")
+	}
+	if names := scenario.Names(); len(names) != len(all) {
+		t.Errorf("Names() returned %d names for %d scenarios", len(names), len(all))
+	}
+}
+
+// TestGoldensComplete checks both directions of the golden/<->registry
+// mapping without running anything: every scenario (slow ones included)
+// has both golden files, and every golden file belongs to a registered
+// scenario — an orphan means a scenario was renamed without retiring its
+// goldens.
+func TestGoldensComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range scenario.All() {
+		names[s.Name] = true
+		for _, ext := range []string{".txt", ".json"} {
+			p := filepath.Join(goldenDir, s.Name+ext)
+			if _, err := os.Stat(p); err != nil {
+				t.Errorf("scenario %s: missing golden %s (run: go run ./cmd/paperbench -run %s -update)",
+					s.Name, p, s.Name)
+			}
+		}
+	}
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		stem := strings.TrimSuffix(strings.TrimSuffix(e.Name(), ".txt"), ".json")
+		if !names[stem] {
+			t.Errorf("orphan golden %s: no scenario named %q", e.Name(), stem)
+		}
+	}
+}
+
+// TestGoldens replays each scenario and requires both the human-readable
+// text and the canonical JSON record to be byte-identical to the committed
+// goldens. Slow scenarios (the multi-panel figure grids) are skipped by
+// default and replayed under `go test -tags slow`; the CI golden-artifact
+// job (`paperbench -run all -check`) always covers the full set.
+func TestGoldens(t *testing.T) {
+	for _, s := range scenario.All() {
+		t.Run(s.Name, func(t *testing.T) {
+			if s.Slow && !runSlowScenarios {
+				t.Skip("slow scenario; replay with -tags slow (always checked by paperbench -run all -check)")
+			}
+			var text bytes.Buffer
+			rec, err := s.Exec(&text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Name != s.Name || rec.Title != s.Title {
+				t.Errorf("record identity %q/%q, want %q/%q", rec.Name, rec.Title, s.Name, s.Title)
+			}
+			compare(t, filepath.Join(goldenDir, s.Name+".txt"), text.Bytes())
+			var jb bytes.Buffer
+			if err := rec.Encode(&jb); err != nil {
+				t.Fatal(err)
+			}
+			compare(t, filepath.Join(goldenDir, s.Name+".json"), jb.Bytes())
+		})
+	}
+}
+
+func compare(t *testing.T, goldenPath string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if d := scenario.DiffGolden(got, want); d != "" {
+		t.Fatalf("drift vs %s:\n%s\n(refresh intentional changes with: go run ./cmd/paperbench -run all -update)",
+			goldenPath, d)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !slow
+
+package scenario_test
+
+// Without the slow tag, the golden replay covers only the fast scenarios;
+// the full set runs under `go test -tags slow ./internal/scenario` and in
+// the CI golden-artifact job.
+const runSlowScenarios = false

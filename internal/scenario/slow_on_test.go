@@ -1,0 +1,7 @@
+//go:build slow
+
+package scenario_test
+
+// The slow tag opts the golden replay into the multi-panel figure grids
+// (fig7-fig9), whose 1GB sweeps dominate runtime.
+const runSlowScenarios = true
