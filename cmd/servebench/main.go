@@ -1,0 +1,51 @@
+// Command servebench runs the traffic-driven serving artifacts: continuous
+// batching over the simulated cluster model under Poisson and bursty load,
+// reporting TTFT/TPOT tails and goodput under SLOs per communication
+// backend (internal/serve layered on internal/inference + the simulated
+// collectives).
+//
+// It is a thin wrapper over the internal/scenario registry; use
+// cmd/paperbench for listing, JSON records and golden-output checks.
+//
+// Usage:
+//
+//	servebench -experiment all|llama70b|deepseek|ratesweep
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"mscclpp/internal/scenario"
+)
+
+// experiments maps this command's traditional short names to registry
+// scenario names, in output order.
+var experiments = []struct{ short, name string }{
+	{"llama70b", "serve-llama70b"},
+	{"deepseek", "serve-deepseek"},
+	{"ratesweep", "serve-ratesweep"},
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "llama70b|deepseek|ratesweep|all")
+	flag.Parse()
+	matched := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.short {
+			continue
+		}
+		matched = true
+		s, ok := scenario.Get(e.name)
+		if !ok {
+			log.Fatalf("%s: not registered", e.name)
+		}
+		if _, err := s.Exec(os.Stdout); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+	}
+	if !matched {
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+}

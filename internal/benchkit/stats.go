@@ -1,0 +1,44 @@
+package benchkit
+
+// Latency-distribution helpers for the serving scenarios: percentiles and
+// means over per-request samples. Pure functions of their inputs, so
+// summaries built from deterministic simulations stay golden-stable.
+
+import "sort"
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks (the common "exclusive of extrapolation"
+// definition: p=0 is the min, p=100 the max). xs need not be sorted; it is
+// not modified. Returns 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo] + frac*(s[lo+1]-s[lo])
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

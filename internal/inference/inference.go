@@ -250,9 +250,17 @@ func DeepSeekV3(tp int) Model {
 // of bsz sequences with context length seqlen, using ar for the
 // tensor-parallel AllReduces.
 func DecodeStep(env *topology.Env, m Model, bsz, seqlen int, ar func(int64) sim.Duration) sim.Duration {
+	return DecodeStepCtx(env, m, bsz, int64(bsz)*int64(seqlen), ar)
+}
+
+// DecodeStepCtx is DecodeStep for a heterogeneous batch: totalCtx is the sum
+// of the context lengths of the bsz sequences (a continuous-batching batch
+// mixes fresh and deep sequences, so only the total KV footprint matters to
+// the roofline, not a shared seqlen).
+func DecodeStepCtx(env *topology.Env, m Model, bsz int, totalCtx int64, ar func(int64) sim.Duration) sim.Duration {
 	// Memory-bound side: weights are read once per step; KV cache is read
-	// for every sequence.
-	memBytes := float64(m.WeightBytesPerGPU) + float64(int64(bsz)*int64(seqlen)*m.KVBytesPerTokenPerGPU)
+	// for every context token in the batch.
+	memBytes := float64(m.WeightBytesPerGPU) + float64(totalCtx*m.KVBytesPerTokenPerGPU)
 	memT := memBytes / (env.HBMBW * m.Efficiency)
 	// Compute side (matters at large batch).
 	flops := m.FLOPsPerTokenPerGPU * float64(bsz)

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mscclpp/internal/sim"
+	"mscclpp/internal/timing"
 	"mscclpp/internal/topology"
 )
 
@@ -129,7 +130,7 @@ func TestFabricP2PTiming(t *testing.T) {
 	// Single 1 MB transfer at full link speed.
 	size := int64(1 << 20)
 	done := f.P2P(0, 0, 1, size, 1e9)
-	wire := int64(float64(size) / m.Env.IntraBW)
+	wire := timing.XferTime(size, m.Env.IntraBW)
 	want := wire + m.Env.IntraLat
 	if done != want {
 		t.Fatalf("P2P completion %d, want %d", done, want)
@@ -170,7 +171,7 @@ func TestFabricRDMA(t *testing.T) {
 	m := New(topology.H100(2))
 	size := int64(1 << 20)
 	done := m.Fabric.RDMA(0, 0, 8, size)
-	want := int64(float64(size)/m.Env.IBBW) + m.Env.IBLat
+	want := timing.XferTime(size, m.Env.IBBW) + m.Env.IBLat
 	if done != want {
 		t.Fatalf("RDMA completion %d, want %d", done, want)
 	}
@@ -188,7 +189,7 @@ func TestFabricSwitchOps(t *testing.T) {
 	}
 	size := int64(1 << 20)
 	done := m.Fabric.SwitchReduce(0, 0, size, 1e9)
-	want := int64(float64(size)/m.Env.SwitchBW) + m.Env.SwitchLat
+	want := timing.XferTime(size, m.Env.SwitchBW) + m.Env.SwitchLat
 	if done != want {
 		t.Fatalf("SwitchReduce completion %d, want %d", done, want)
 	}
@@ -214,7 +215,7 @@ func TestFabricMeshPaths(t *testing.T) {
 		t.Fatalf("mesh links to different peers should be independent: %d vs %d", a, b)
 	}
 	// But per-peer bandwidth is the per-link share.
-	wire := int64(float64(size) / m.Env.PeerBW())
+	wire := timing.XferTime(size, m.Env.PeerBW())
 	if a != wire+m.Env.IntraLat {
 		t.Fatalf("mesh completion %d, want %d", a, wire+m.Env.IntraLat)
 	}

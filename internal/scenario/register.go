@@ -76,4 +76,21 @@ func init() {
 		Title: "Figure 13: DeepEP dispatch/combine bandwidth (2x H100, 16 GPUs)",
 		Run:   fig13,
 	})
+	Register(Scenario{
+		Name:  "serve-llama70b",
+		Title: "Serving: Llama3-70B continuous batching under Poisson load (TP=8, A100-80G, NCCL vs MSCCL++)",
+		Slow:  true,
+		Run:   serveLlama70B,
+	})
+	Register(Scenario{
+		Name:  "serve-deepseek",
+		Title: "Serving: DeepSeek-V3 steady vs bursty arrivals (TP=16, 2x H100, MSCCL++)",
+		Run:   serveDeepSeek,
+	})
+	Register(Scenario{
+		Name:  "serve-ratesweep",
+		Title: "Serving: goodput under SLO vs offered rate across environments (Llama3-70B TP=8)",
+		Slow:  true,
+		Run:   serveRateSweep,
+	})
 }

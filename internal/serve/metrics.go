@@ -1,0 +1,134 @@
+package serve
+
+// Per-request serving metrics and their aggregation: TTFT / TPOT / E2E
+// latency distributions (percentiles via benchkit) and goodput under SLOs.
+// All raw values are exact virtual-time integers; summaries derive from
+// them deterministically.
+
+import (
+	"mscclpp/internal/benchkit"
+	"mscclpp/internal/sim"
+)
+
+// RequestMetrics is the lifecycle record of one completed request.
+type RequestMetrics struct {
+	ID        int `json:"id"`
+	PromptLen int `json:"prompt_len"`
+	OutputLen int `json:"output_len"`
+
+	Arrival    sim.Time `json:"arrival_ns"`
+	Admitted   sim.Time `json:"admitted_ns"`    // joined the running batch
+	FirstToken sim.Time `json:"first_token_ns"` // prefill completed
+	Done       sim.Time `json:"done_ns"`        // last token generated
+}
+
+// TTFT is the time-to-first-token: arrival to first output token.
+func (m RequestMetrics) TTFT() sim.Duration { return m.FirstToken - m.Arrival }
+
+// QueueDelay is the time spent waiting for admission.
+func (m RequestMetrics) QueueDelay() sim.Duration { return m.Admitted - m.Arrival }
+
+// E2E is the end-to-end latency: arrival to last token.
+func (m RequestMetrics) E2E() sim.Duration { return m.Done - m.Arrival }
+
+// TPOT is the mean time-per-output-token over the decode phase (0 for
+// single-token outputs, which have no decode phase).
+func (m RequestMetrics) TPOT() sim.Duration {
+	if m.OutputLen <= 1 {
+		return 0
+	}
+	return (m.Done - m.FirstToken) / sim.Duration(m.OutputLen-1)
+}
+
+// Result is the outcome of one serving simulation.
+type Result struct {
+	Workload   string           `json:"workload"`
+	PerRequest []RequestMetrics `json:"per_request"`
+	Makespan   sim.Duration     `json:"makespan_ns"` // first arrival to last completion
+	Iterations int              `json:"iterations"`  // engine iterations executed
+}
+
+// SLO is a latency service-level objective for goodput accounting. A
+// request meets the SLO when TTFT <= MaxTTFT and TPOT <= MaxTPOT (either
+// bound may be zero, meaning "not constrained").
+type SLO struct {
+	MaxTTFT sim.Duration
+	MaxTPOT sim.Duration
+}
+
+// Met reports whether one request satisfied the SLO.
+func (s SLO) Met(m RequestMetrics) bool {
+	if s.MaxTTFT > 0 && m.TTFT() > s.MaxTTFT {
+		return false
+	}
+	if s.MaxTPOT > 0 && m.TPOT() > s.MaxTPOT {
+		return false
+	}
+	return true
+}
+
+// Summary is the aggregate view of a Result: latency percentiles in
+// milliseconds, token throughput, and goodput under an SLO.
+type Summary struct {
+	Requests   int     `json:"requests"`
+	Iterations int     `json:"iterations"`
+	MakespanS  float64 `json:"makespan_s"`
+
+	TTFTp50ms float64 `json:"ttft_p50_ms"`
+	TTFTp90ms float64 `json:"ttft_p90_ms"`
+	TTFTp99ms float64 `json:"ttft_p99_ms"`
+	TPOTp50ms float64 `json:"tpot_p50_ms"`
+	TPOTp99ms float64 `json:"tpot_p99_ms"`
+	E2Ep50ms  float64 `json:"e2e_p50_ms"`
+	E2Ep99ms  float64 `json:"e2e_p99_ms"`
+
+	// Throughput counts every generated token; Goodput only tokens of
+	// SLO-compliant requests. Both are tokens/second of virtual time.
+	ThroughputTokS float64 `json:"throughput_tok_s"`
+	GoodputTokS    float64 `json:"goodput_tok_s"`
+	// SLOAttainment is the fraction of requests meeting the SLO.
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// Summarize aggregates a Result under an SLO.
+func (r *Result) Summarize(slo SLO) Summary {
+	n := len(r.PerRequest)
+	s := Summary{
+		Requests:   n,
+		Iterations: r.Iterations,
+		MakespanS:  float64(r.Makespan) / 1e9,
+	}
+	if n == 0 {
+		return s
+	}
+	ttft := make([]float64, 0, n)
+	tpot := make([]float64, 0, n)
+	e2e := make([]float64, 0, n)
+	var tokens, goodTokens int64
+	met := 0
+	for _, m := range r.PerRequest {
+		ttft = append(ttft, float64(m.TTFT())/1e6)
+		e2e = append(e2e, float64(m.E2E())/1e6)
+		if m.OutputLen > 1 {
+			tpot = append(tpot, float64(m.TPOT())/1e6)
+		}
+		tokens += int64(m.OutputLen)
+		if slo.Met(m) {
+			met++
+			goodTokens += int64(m.OutputLen)
+		}
+	}
+	s.TTFTp50ms = benchkit.Percentile(ttft, 50)
+	s.TTFTp90ms = benchkit.Percentile(ttft, 90)
+	s.TTFTp99ms = benchkit.Percentile(ttft, 99)
+	s.TPOTp50ms = benchkit.Percentile(tpot, 50)
+	s.TPOTp99ms = benchkit.Percentile(tpot, 99)
+	s.E2Ep50ms = benchkit.Percentile(e2e, 50)
+	s.E2Ep99ms = benchkit.Percentile(e2e, 99)
+	if r.Makespan > 0 {
+		s.ThroughputTokS = float64(tokens) / (float64(r.Makespan) / 1e9)
+		s.GoodputTokS = float64(goodTokens) / (float64(r.Makespan) / 1e9)
+	}
+	s.SLOAttainment = float64(met) / float64(n)
+	return s
+}

@@ -1,0 +1,60 @@
+package serve
+
+// A tiny self-contained PRNG (splitmix64) so workload generation is
+// bit-stable by construction: goldens must not depend on the Go standard
+// library keeping math/rand's stream stable across releases. splitmix64
+// passes BigCrush, is trivially seedable, and two generators with different
+// seeds are independent for our purposes.
+
+import "math"
+
+// RNG is a deterministic 64-bit pseudo-random generator. The zero value is
+// a valid (seed-0) generator; use NewRNG to seed it explicitly.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next raw 64-bit output (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed sample with the given mean
+// (inverse-CDF method; 1-u keeps the argument of log strictly positive).
+func (r *RNG) Exp(mean float64) float64 {
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Norm returns a standard normal sample (Box-Muller, one of the pair).
+func (r *RNG) Norm() float64 {
+	u1 := 1 - r.Float64() // (0, 1]
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// LogNormal returns exp(N(mu, sigma^2)); median is exp(mu).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.Norm())
+}
+
+// Intn returns a uniform integer in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("serve: Intn with non-positive bound")
+	}
+	// Plain modulo reduction: its bias from a 64-bit source over
+	// request-length ranges (n < 2^20) is far below any observable effect.
+	return int(r.Uint64() % uint64(n))
+}

@@ -1,0 +1,237 @@
+package serve
+
+// The continuous-batching scheduler: a sim.Proc that admits arriving
+// requests into a bounded running batch, interleaves chunked prefill with
+// decode in each engine iteration (vLLM-style token-budgeted batching), and
+// gates admission on a per-GPU KV-cache capacity. Each iteration's virtual
+// duration comes from the internal/inference roofline + simulated-collective
+// step models, so serving metrics inherit the calibrated communication
+// behavior of the underlying cluster model.
+
+import (
+	"fmt"
+
+	"mscclpp/internal/inference"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
+)
+
+// Config parameterizes one serving simulation.
+type Config struct {
+	Env   *topology.Env
+	Model inference.Model
+	// AR times one tensor-parallel AllReduce at a message size (usually an
+	// inference.ARTimer's Time method; must be safe for reuse).
+	AR func(int64) sim.Duration
+
+	// MaxBatch bounds how many requests may be resident (prefilling or
+	// decoding) at once. Defaults to 32.
+	MaxBatch int
+	// KVCapacityBytes is the per-GPU KV-cache budget. Admission reserves a
+	// request's full footprint (prompt + output tokens) up front and releases
+	// it at completion — the conservative reservation discipline, which can
+	// never need preemption. Defaults to 8 GiB.
+	KVCapacityBytes int64
+	// ChunkTokens is the prefill token budget per engine iteration (chunked
+	// prefill); long prompts are spread over several iterations so decode
+	// latency stays bounded. Defaults to 512.
+	ChunkTokens int
+	// SchedOverhead is the fixed per-iteration scheduler/runtime cost
+	// (batch formation, kernel dispatch glue). Defaults to 100 us, the
+	// order of a Python-level serving engine's iteration overhead.
+	SchedOverhead sim.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxBatch == 0 {
+		out.MaxBatch = 32
+	}
+	if out.KVCapacityBytes == 0 {
+		out.KVCapacityBytes = 8 << 30
+	}
+	if out.ChunkTokens == 0 {
+		out.ChunkTokens = 512
+	}
+	if out.SchedOverhead == 0 {
+		out.SchedOverhead = 100 * sim.Microsecond
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Env == nil:
+		return fmt.Errorf("serve: Config.Env is nil")
+	case c.AR == nil:
+		return fmt.Errorf("serve: Config.AR is nil")
+	case c.MaxBatch < 1:
+		return fmt.Errorf("serve: MaxBatch = %d", c.MaxBatch)
+	case c.KVCapacityBytes < 1:
+		return fmt.Errorf("serve: KVCapacityBytes = %d", c.KVCapacityBytes)
+	case c.ChunkTokens < 1:
+		return fmt.Errorf("serve: ChunkTokens = %d", c.ChunkTokens)
+	case c.SchedOverhead < 0:
+		return fmt.Errorf("serve: SchedOverhead = %d", c.SchedOverhead)
+	}
+	return nil
+}
+
+// reqState tracks one admitted request through prefill and decode.
+type reqState struct {
+	req         Request
+	prefillDone int      // prompt tokens processed so far
+	generated   int      // output tokens produced (1st at prefill completion)
+	kvReserved  int64    // bytes reserved against the KV budget
+	admitAt     sim.Time // when admission succeeded
+	firstTok    sim.Time // when the first output token appeared
+}
+
+// Run replays the workload against the configured serving engine and
+// returns per-request metrics. It builds a fresh discrete-event engine,
+// schedules every arrival as an engine event, and runs the scheduler
+// process until the last request completes.
+func Run(cfg Config, wl Workload) (*Result, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	kvPerTok := c.Model.KVBytesPerTokenPerGPU
+	if kvPerTok < 1 {
+		return nil, fmt.Errorf("serve: model %s has KVBytesPerTokenPerGPU = %d", c.Model.Name, kvPerTok)
+	}
+	for _, r := range wl.Requests {
+		if r.PromptLen < 1 || r.OutputLen < 1 {
+			return nil, fmt.Errorf("serve: request %d has prompt %d / output %d tokens", r.ID, r.PromptLen, r.OutputLen)
+		}
+		if need := int64(r.PromptLen+r.OutputLen) * kvPerTok; need > c.KVCapacityBytes {
+			return nil, fmt.Errorf("serve: request %d needs %d KV bytes, capacity %d — it can never be admitted",
+				r.ID, need, c.KVCapacityBytes)
+		}
+	}
+
+	eng := sim.NewEngine()
+	arrived := sim.NewCond(eng)
+	var waiting []*reqState // FIFO arrival order
+	for _, r := range wl.Requests {
+		req := r
+		eng.At(req.Arrival, func() {
+			waiting = append(waiting, &reqState{req: req})
+			arrived.Broadcast()
+		})
+	}
+
+	res := &Result{
+		Workload:   wl.Name,
+		PerRequest: make([]RequestMetrics, 0, len(wl.Requests)),
+	}
+	var kvUsed int64
+	var active []*reqState // admission order; resident in the engine
+	completed := 0
+	total := len(wl.Requests)
+
+	sched := func(p *sim.Proc) {
+		for completed < total {
+			if len(active) == 0 {
+				p.Wait(arrived, "waiting for arrivals", func() bool { return len(waiting) > 0 })
+			}
+			// Admission: FIFO while the batch bound and the KV budget allow.
+			// Head-of-line blocking on KV is intentional — admitting smaller
+			// requests around a stuck head would starve long prompts.
+			for len(waiting) > 0 && len(active) < c.MaxBatch {
+				head := waiting[0]
+				need := int64(head.req.PromptLen+head.req.OutputLen) * kvPerTok
+				if kvUsed+need > c.KVCapacityBytes {
+					break
+				}
+				waiting = waiting[1:]
+				head.kvReserved = need
+				kvUsed += need
+				head.admitAt = p.Now()
+				active = append(active, head)
+			}
+
+			// Form the iteration: a chunked-prefill token budget spread FIFO
+			// over admitted-but-unprefilled requests, plus one decode token
+			// for every running sequence.
+			chunkLeft := c.ChunkTokens
+			type prefillShare struct {
+				rs  *reqState
+				tok int
+			}
+			var prefills []prefillShare
+			var decoders []*reqState
+			var decodeCtx int64
+			for _, rs := range active {
+				if rs.prefillDone < rs.req.PromptLen {
+					if chunkLeft > 0 {
+						tok := rs.req.PromptLen - rs.prefillDone
+						if tok > chunkLeft {
+							tok = chunkLeft
+						}
+						prefills = append(prefills, prefillShare{rs, tok})
+						chunkLeft -= tok
+					}
+				} else if rs.generated < rs.req.OutputLen {
+					decoders = append(decoders, rs)
+					decodeCtx += int64(rs.req.PromptLen + rs.generated)
+				}
+			}
+
+			// Price the iteration. Prefill and decode execute back to back
+			// within one engine step (the non-fused form of chunked prefill);
+			// each side pays its own roofline + TP-communication cost.
+			dur := c.SchedOverhead
+			chunkTok := c.ChunkTokens - chunkLeft
+			if chunkTok > 0 {
+				dur += inference.PrefillStep(c.Env, c.Model, 1, chunkTok, c.AR)
+			}
+			if len(decoders) > 0 {
+				dur += inference.DecodeStepCtx(c.Env, c.Model, len(decoders), decodeCtx, c.AR)
+			}
+			p.Sleep(dur)
+			end := p.Now()
+			res.Iterations++
+
+			// Apply the iteration's effects at its completion time.
+			for _, ps := range prefills {
+				ps.rs.prefillDone += ps.tok
+				if ps.rs.prefillDone == ps.rs.req.PromptLen {
+					// Prefill completion emits the first output token.
+					ps.rs.generated = 1
+					ps.rs.firstTok = end
+				}
+			}
+			for _, rs := range decoders {
+				rs.generated++
+			}
+			keep := active[:0]
+			for _, rs := range active {
+				if rs.generated >= rs.req.OutputLen && rs.prefillDone == rs.req.PromptLen {
+					kvUsed -= rs.kvReserved
+					completed++
+					res.PerRequest = append(res.PerRequest, RequestMetrics{
+						ID:         rs.req.ID,
+						PromptLen:  rs.req.PromptLen,
+						OutputLen:  rs.req.OutputLen,
+						Arrival:    rs.req.Arrival,
+						Admitted:   rs.admitAt,
+						FirstToken: rs.firstTok,
+						Done:       end,
+					})
+				} else {
+					keep = append(keep, rs)
+				}
+			}
+			active = keep
+		}
+	}
+	eng.Spawn("serve-scheduler", sched)
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if len(wl.Requests) > 0 {
+		res.Makespan = eng.Now() - wl.Requests[0].Arrival
+	}
+	return res, nil
+}

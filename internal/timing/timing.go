@@ -8,7 +8,11 @@
 // actually do; there are no per-library fudge factors.
 package timing
 
-import "mscclpp/internal/topology"
+import (
+	"math"
+
+	"mscclpp/internal/topology"
+)
 
 // Model is the per-environment cost model. All durations are nanoseconds,
 // all bandwidths bytes/ns (== GB/s).
@@ -183,10 +187,15 @@ func (m *Model) LocalReduceBW(n int) float64 {
 	return bw
 }
 
-// XferTime returns size/bw, guarding against degenerate inputs.
+// XferTime returns size/bw rounded up to whole nanoseconds, guarding against
+// degenerate inputs. Rounding up (rather than truncating toward zero) keeps
+// every positive-size transfer at >= 1 ns: with truncation, any message
+// smaller than the link's per-ns byte rate — e.g. a 16-byte LL packet on a
+// 400 GB/s NVLink — was modeled as free, which understated wire occupancy
+// for exactly the small-message regime the paper's latency figures measure.
 func XferTime(size int64, bw float64) int64 {
 	if size <= 0 || bw <= 0 {
 		return 0
 	}
-	return int64(float64(size) / bw)
+	return int64(math.Ceil(float64(size) / bw))
 }

@@ -86,9 +86,12 @@ type Env struct {
 func (e *Env) TotalGPUs() int { return e.Nodes * e.GPUsPerNode }
 
 // PeerBW returns the achievable bandwidth between two distinct intra-node
-// peers when only that single flow is active.
+// peers when only that single flow is active. On a mesh the aggregate
+// IntraBW is striped over GPUsPerNode-1 point-to-point links; Validate
+// rejects meshes with fewer than two GPUs per node, and PeerBW guards the
+// division anyway so an unvalidated Env can never yield +Inf.
 func (e *Env) PeerBW() float64 {
-	if e.IntraMesh {
+	if e.IntraMesh && e.GPUsPerNode > 1 {
 		return e.IntraBW / float64(e.GPUsPerNode-1)
 	}
 	return e.IntraBW
@@ -101,6 +104,8 @@ func (e *Env) Validate() error {
 		return fmt.Errorf("topology %s: Nodes = %d", e.Name, e.Nodes)
 	case e.GPUsPerNode < 1:
 		return fmt.Errorf("topology %s: GPUsPerNode = %d", e.Name, e.GPUsPerNode)
+	case e.IntraMesh && e.GPUsPerNode < 2:
+		return fmt.Errorf("topology %s: IntraMesh with GPUsPerNode = %d (a mesh needs >= 2 peers per node)", e.Name, e.GPUsPerNode)
 	case e.IntraBW <= 0 || e.IntraLat <= 0:
 		return fmt.Errorf("topology %s: intra-node link unspecified", e.Name)
 	case e.Nodes > 1 && (e.IBBW <= 0 || e.IBLat <= 0):

@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestValidateTable drives Validate through accepting and rejecting cases.
+func TestValidateTable(t *testing.T) {
+	valid := func() *Env {
+		return &Env{
+			Name: "t", Nodes: 2, GPUsPerNode: 8,
+			IntraBW: 300, IntraLat: 1000,
+			IBBW: 25, IBLat: 4000,
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(e *Env)
+		wantErr string // substring; empty means valid
+	}{
+		{"baseline valid", func(e *Env) {}, ""},
+		{"single node needs no IB", func(e *Env) { e.Nodes = 1; e.IBBW = 0; e.IBLat = 0 }, ""},
+		{"zero nodes", func(e *Env) { e.Nodes = 0 }, "Nodes"},
+		{"negative nodes", func(e *Env) { e.Nodes = -1 }, "Nodes"},
+		{"zero gpus", func(e *Env) { e.GPUsPerNode = 0 }, "GPUsPerNode"},
+		{"missing intra bw", func(e *Env) { e.IntraBW = 0 }, "intra-node link"},
+		{"missing intra lat", func(e *Env) { e.IntraLat = 0 }, "intra-node link"},
+		{"multi-node without IB", func(e *Env) { e.IBBW = 0 }, "without IB"},
+		{"multicast without switch bw", func(e *Env) { e.HasMulticast = true }, "multicast"},
+		{"mesh with 8 gpus ok", func(e *Env) { e.IntraMesh = true }, ""},
+		{"mesh with 2 gpus ok", func(e *Env) { e.IntraMesh = true; e.GPUsPerNode = 2 }, ""},
+		{"mesh with 1 gpu rejected", func(e *Env) { e.IntraMesh = true; e.GPUsPerNode = 1 }, "IntraMesh"},
+	}
+	for _, c := range cases {
+		e := valid()
+		c.mutate(e)
+		err := e.Validate()
+		switch {
+		case c.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		case c.wantErr != "" && err == nil:
+			t.Errorf("%s: Validate accepted invalid env", c.name)
+		case c.wantErr != "" && !strings.Contains(err.Error(), c.wantErr):
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+// TestPeerBWFinite is the regression test for the +Inf bug: a degenerate
+// single-GPU mesh must not divide by zero even before Validate runs, and on
+// real meshes per-peer bandwidth is the aggregate striped over the links.
+func TestPeerBWFinite(t *testing.T) {
+	e := &Env{Name: "degenerate", Nodes: 1, GPUsPerNode: 1, IntraMesh: true, IntraBW: 350, IntraLat: 1400}
+	got := e.PeerBW()
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("PeerBW on 1-GPU mesh = %g, want finite", got)
+	}
+	if got != e.IntraBW {
+		t.Errorf("PeerBW on 1-GPU mesh = %g, want IntraBW %g", got, e.IntraBW)
+	}
+	if err := e.Validate(); err == nil {
+		t.Error("Validate accepted IntraMesh with GPUsPerNode = 1")
+	}
+
+	mesh := MI300x(1)
+	want := mesh.IntraBW / float64(mesh.GPUsPerNode-1)
+	if got := mesh.PeerBW(); got != want {
+		t.Errorf("MI300x PeerBW = %g, want %g", got, want)
+	}
+	sw := H100(1)
+	if got := sw.PeerBW(); got != sw.IntraBW {
+		t.Errorf("switch PeerBW = %g, want IntraBW %g", got, sw.IntraBW)
+	}
+}
+
+// TestTable2Envs: every shipped environment validates at 1 and 2 nodes and
+// reports consistent totals.
+func TestTable2Envs(t *testing.T) {
+	ctors := map[string]func(int) *Env{
+		"A100-40G": A100_40G, "A100-80G": A100_80G, "H100": H100, "MI300x": MI300x,
+	}
+	for name, ctor := range ctors {
+		for _, nodes := range []int{1, 2, 4} {
+			e := ctor(nodes)
+			if err := e.Validate(); err != nil {
+				t.Errorf("%s(%d): %v", name, nodes, err)
+			}
+			if e.TotalGPUs() != nodes*e.GPUsPerNode {
+				t.Errorf("%s(%d): TotalGPUs = %d", name, nodes, e.TotalGPUs())
+			}
+		}
+	}
+}
+
+// TestByName round-trips the Table 2 lookup, including aliases and the
+// unknown-name error path.
+func TestByName(t *testing.T) {
+	for alias, want := range map[string]string{
+		"a100": "A100-40G", "A100-40G": "A100-40G", "a100-80g": "A100-80G",
+		"h100": "H100", "MI300X": "MI300x", "mi300x": "MI300x",
+	} {
+		e, err := ByName(alias, 2)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", alias, err)
+			continue
+		}
+		if e.Name != want || e.Nodes != 2 {
+			t.Errorf("ByName(%q) = %s/%d nodes, want %s/2", alias, e.Name, e.Nodes, want)
+		}
+	}
+	if _, err := ByName("tpu", 1); err == nil {
+		t.Error("ByName accepted unknown environment")
+	}
+}
+
+// TestLinkKindString covers the stringer, including out-of-range kinds.
+func TestLinkKindString(t *testing.T) {
+	for kind, want := range map[LinkKind]string{
+		LinkNVLink: "NVLink", LinkXGMI: "xGMI", LinkIB: "InfiniBand", LinkKind(42): "LinkKind(42)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("LinkKind(%d).String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}
