@@ -2,22 +2,35 @@
 // batching over the simulated cluster model under Poisson and bursty load,
 // reporting TTFT/TPOT tails and goodput under SLOs per communication
 // backend (internal/serve layered on internal/inference + the simulated
-// collectives).
+// collectives), plus the multi-replica routing artifacts (round-robin vs
+// JSQ vs prefix-affinity arrival splitting).
 //
 // It is a thin wrapper over the internal/scenario registry; use
 // cmd/paperbench for listing, JSON records and golden-output checks.
 //
 // Usage:
 //
-//	servebench -experiment all|llama70b|deepseek|ratesweep
+//	servebench -experiment all|llama70b|deepseek|ratesweep|routing|affinity
+//
+// Setting any of -replicas/-policy/-requests/-rate/-seed instead runs an
+// ad-hoc routed simulation (Llama3-70B TP=8 per replica, A100-80G,
+// MSCCL++) with the chosen replica count and routing policy:
+//
+//	servebench -replicas 4 -policy jsq -requests 400 -rate 30
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
+	"strings"
 
+	"mscclpp/internal/inference"
 	"mscclpp/internal/scenario"
+	"mscclpp/internal/serve"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
 )
 
 // experiments maps this command's traditional short names to registry
@@ -26,11 +39,42 @@ var experiments = []struct{ short, name string }{
 	{"llama70b", "serve-llama70b"},
 	{"deepseek", "serve-deepseek"},
 	{"ratesweep", "serve-ratesweep"},
+	{"routing", "serve-routing"},
+	{"affinity", "serve-affinity"},
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "llama70b|deepseek|ratesweep|all")
+	exp := flag.String("experiment", "all", "llama70b|deepseek|ratesweep|routing|affinity|all")
+	replicas := flag.Int("replicas", 3, "ad-hoc mode: number of replica engines (enables ad-hoc routed run)")
+	policy := flag.String("policy", "jsq", "ad-hoc mode: routing policy ("+strings.Join(serve.PolicyNames(), "|")+")")
+	requests := flag.Int("requests", 300, "ad-hoc mode: number of requests")
+	rate := flag.Float64("rate", 24, "ad-hoc mode: Poisson arrival rate, requests/second (aggregate)")
+	seed := flag.Uint64("seed", 1, "ad-hoc mode: workload seed")
 	flag.Parse()
+
+	adhocFlagsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "replicas", "policy", "requests", "rate", "seed":
+			adhocFlagsSet = true
+		}
+	})
+	if adhocFlagsSet {
+		// Ad-hoc mode and registry mode are mutually exclusive: refuse the
+		// ambiguous combination instead of silently ignoring flags (registry
+		// artifacts have fixed workloads; the ad-hoc flags cannot apply).
+		if *exp != "all" {
+			log.Fatalf("ad-hoc flags (-replicas/-policy/-requests/-rate/-seed) cannot be combined with -experiment %s", *exp)
+		}
+		if *requests < 1 || *rate <= 0 || *replicas < 1 {
+			log.Fatalf("ad-hoc mode needs -requests >= 1, -rate > 0 and -replicas >= 1 (got %d, %g, %d)", *requests, *rate, *replicas)
+		}
+		if err := runAdhoc(*replicas, *policy, *requests, *rate, *seed); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	matched := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.short {
@@ -48,4 +92,44 @@ func main() {
 	if !matched {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
+}
+
+// runAdhoc replays one seeded Poisson workload through a routed
+// multi-replica cluster and prints the merged and per-replica summaries.
+func runAdhoc(replicas int, policy string, requests int, rate float64, seed uint64) error {
+	pol, err := serve.PolicyByName(policy)
+	if err != nil {
+		return err
+	}
+	envFn := func() *topology.Env { return topology.A100_80G(1) }
+	timer := inference.NewARTimer(envFn, inference.LibMSCCLPP)
+	wl := serve.Poisson(seed, requests, rate,
+		serve.LogNormalLen(512, 0.6, 2048), serve.LogNormalLen(64, 0.5, 192))
+	res, err := serve.RunRouted(serve.RouterConfig{
+		Replicas: replicas,
+		Policy:   pol,
+		Replica: serve.Config{
+			Env:             envFn(),
+			Model:           inference.Llama3x70B(8),
+			AR:              timer.Time,
+			MaxBatch:        24,
+			KVCapacityBytes: 4 << 30,
+			ChunkTokens:     512,
+		},
+	}, wl)
+	if err != nil {
+		return err
+	}
+	slo := serve.SLO{MaxTTFT: 2 * sim.Second, MaxTPOT: 100 * sim.Millisecond}
+	s := res.Summarize(slo)
+	fmt.Printf("Routed serving: %d requests at %.3g req/s over %d replicas, policy %s (Llama3-70b TP=8, A100-80G, MSCCL++)\n",
+		requests, rate, replicas, res.Policy)
+	fmt.Printf("  merged: ttft p50 %.1f ms p99 %.1f ms | tpot p99 %.1f ms | goodput %.0f tok/s | SLO %.1f%%\n",
+		s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment)
+	for i, pr := range res.PerReplica {
+		ps := pr.Summarize(slo)
+		fmt.Printf("  replica %d: %4d requests, ttft p99 %8.1f ms, %d iterations\n",
+			i, ps.Requests, ps.TTFTp99ms, ps.Iterations)
+	}
+	return nil
 }

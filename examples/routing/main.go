@@ -1,0 +1,89 @@
+// Routing example: the same bursty request stream, with 60% of requests
+// sharing one of a handful of prompt prefixes (multi-tenant system
+// prompts), replayed against a 3-replica Llama3-70B cluster under each
+// routing policy — round-robin, join-shortest-queue, and prefix-cache
+// affinity. Every replica is a full continuous-batching engine over the
+// simulated cluster model (internal/serve.Scheduler); the router splits
+// arrivals inside one discrete-event timeline, so policies are compared
+// at exactly equal offered load.
+//
+// Flags keep it smoke-test friendly:
+//
+//	go run ./examples/routing -requests 60 -replicas 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mscclpp/internal/inference"
+	"mscclpp/internal/serve"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
+)
+
+func main() {
+	n := flag.Int("requests", 240, "number of requests")
+	replicas := flag.Int("replicas", 3, "number of replica engines")
+	seed := flag.Uint64("seed", 11, "workload seed")
+	flag.Parse()
+
+	envFn := func() *topology.Env { return topology.A100_80G(1) }
+	timer := inference.NewARTimer(envFn, inference.LibMSCCLPP)
+	replica := serve.Config{
+		Env:             envFn(),
+		Model:           inference.Llama3x70B(8),
+		AR:              timer.Time,
+		MaxBatch:        24,
+		KVCapacityBytes: 4 << 30,
+		ChunkTokens:     512,
+	}
+
+	// An on/off bursty arrival process (base 6 req/s, 48 req/s spikes),
+	// then 60% of requests tagged with one of 12 shared 256-token
+	// prefixes. Arrivals and lengths are identical across policies.
+	wl := serve.WithPrefixGroups(
+		serve.Bursty(*seed, *n, 6, 48, 6*sim.Second, 2*sim.Second,
+			serve.LogNormalLen(512, 0.6, 2048), serve.LogNormalLen(64, 0.5, 192)),
+		*seed+100, 12, 0.6, 256)
+	fmt.Printf("Workload: %s — %d requests, %d prompt + %d output tokens\n",
+		wl.Name, len(wl.Requests), wl.TotalPromptTokens(), wl.TotalOutputTokens())
+	fmt.Printf("Cluster: %d replicas, each Llama3-70b TP=8 on one A100-80G node (MSCCL++ collectives)\n\n", *replicas)
+
+	slo := serve.SLO{MaxTTFT: 2 * sim.Second, MaxTPOT: 100 * sim.Millisecond}
+	fmt.Printf("%-16s %9s %9s %9s %7s %7s  %s\n",
+		"policy", "ttft p50", "ttft p99", "goodput", "slo%", "hits", "req/replica")
+	for _, name := range serve.PolicyNames() {
+		// Policies are stateful (round-robin carries its cursor), so each
+		// run gets a fresh instance.
+		pol, err := serve.PolicyByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := serve.RunRouted(serve.RouterConfig{
+			Replicas: *replicas,
+			Policy:   pol,
+			Replica:  replica,
+		}, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summarize(slo)
+		hits := 0
+		for _, m := range res.Merged.PerRequest {
+			if m.PrefixHit {
+				hits++
+			}
+		}
+		fmt.Printf("%-16s %9.1f %9.1f %9.0f %6.1f%% %7d ", res.Policy,
+			s.TTFTp50ms, s.TTFTp99ms, s.GoodputTokS, 100*s.SLOAttainment, hits)
+		for _, pr := range res.PerReplica {
+			fmt.Printf(" %d", len(pr.PerRequest))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nRound-robin is load-blind; JSQ routes on in-flight tokens and tames the")
+	fmt.Println("burst tail; prefix-affinity trades some balance for prefix-cache hits")
+	fmt.Println("(prefill discounts). Rerun with -replicas / -seed to explore.")
+}

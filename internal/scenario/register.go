@@ -93,4 +93,15 @@ func init() {
 		Slow:  true,
 		Run:   serveRateSweep,
 	})
+	Register(Scenario{
+		Name:  "serve-routing",
+		Title: "Routing: round-robin vs JSQ vs prefix-affinity over 3 replicas, Poisson and bursty load (Llama3-70B TP=8)",
+		Run:   serveRouting,
+	})
+	Register(Scenario{
+		Name:  "serve-affinity",
+		Title: "Routing: prefix-cache affinity vs JSQ across prefix-reuse fractions (3 replicas, Llama3-70B TP=8)",
+		Slow:  true,
+		Run:   serveAffinity,
+	})
 }

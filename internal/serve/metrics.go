@@ -6,6 +6,8 @@ package serve
 // them deterministically.
 
 import (
+	"sort"
+
 	"mscclpp/internal/benchkit"
 	"mscclpp/internal/sim"
 )
@@ -20,6 +22,10 @@ type RequestMetrics struct {
 	Admitted   sim.Time `json:"admitted_ns"`    // joined the running batch
 	FirstToken sim.Time `json:"first_token_ns"` // prefill completed
 	Done       sim.Time `json:"done_ns"`        // last token generated
+
+	// PrefixHit records whether admission found the request's shared
+	// prompt prefix already cached on the replica (see Request.PrefixGroup).
+	PrefixHit bool `json:"prefix_hit,omitempty"`
 }
 
 // TTFT is the time-to-first-token: arrival to first output token.
@@ -46,6 +52,45 @@ type Result struct {
 	PerRequest []RequestMetrics `json:"per_request"`
 	Makespan   sim.Duration     `json:"makespan_ns"` // first arrival to last completion
 	Iterations int              `json:"iterations"`  // engine iterations executed
+}
+
+// MergeResults pools per-replica results into one cluster-level Result:
+// per-request records are concatenated and ordered by request ID (stable,
+// so duplicate IDs keep their argument order), iteration counts add, and
+// the merged makespan spans the earliest pooled arrival to the latest
+// pooled completion. Merging is associative — merging merges equals
+// merging the parts — and Summarize over a merge equals Summarize over
+// the pooled samples, which is the invariant the router's cross-replica
+// aggregation depends on. Nil parts are skipped; the merged workload name
+// is the first non-empty one.
+func MergeResults(parts ...*Result) *Result {
+	out := &Result{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out.Workload == "" {
+			out.Workload = p.Workload
+		}
+		out.Iterations += p.Iterations
+		out.PerRequest = append(out.PerRequest, p.PerRequest...)
+	}
+	sort.SliceStable(out.PerRequest, func(i, j int) bool {
+		return out.PerRequest[i].ID < out.PerRequest[j].ID
+	})
+	if len(out.PerRequest) > 0 {
+		minArr, maxDone := out.PerRequest[0].Arrival, out.PerRequest[0].Done
+		for _, m := range out.PerRequest[1:] {
+			if m.Arrival < minArr {
+				minArr = m.Arrival
+			}
+			if m.Done > maxDone {
+				maxDone = m.Done
+			}
+		}
+		out.Makespan = maxDone - minArr
+	}
+	return out
 }
 
 // SLO is a latency service-level objective for goodput accounting. A
@@ -118,13 +163,16 @@ func (r *Result) Summarize(slo SLO) Summary {
 			goodTokens += int64(m.OutputLen)
 		}
 	}
-	s.TTFTp50ms = benchkit.Percentile(ttft, 50)
-	s.TTFTp90ms = benchkit.Percentile(ttft, 90)
-	s.TTFTp99ms = benchkit.Percentile(ttft, 99)
-	s.TPOTp50ms = benchkit.Percentile(tpot, 50)
-	s.TPOTp99ms = benchkit.Percentile(tpot, 99)
-	s.E2Ep50ms = benchkit.Percentile(e2e, 50)
-	s.E2Ep99ms = benchkit.Percentile(e2e, 99)
+	// One sort per series (benchkit.Summary), then every percentile query
+	// is an O(1) lookup — same values as per-call benchkit.Percentile.
+	ttftS, tpotS, e2eS := benchkit.NewSummary(ttft), benchkit.NewSummary(tpot), benchkit.NewSummary(e2e)
+	s.TTFTp50ms = ttftS.Percentile(50)
+	s.TTFTp90ms = ttftS.Percentile(90)
+	s.TTFTp99ms = ttftS.Percentile(99)
+	s.TPOTp50ms = tpotS.Percentile(50)
+	s.TPOTp99ms = tpotS.Percentile(99)
+	s.E2Ep50ms = e2eS.Percentile(50)
+	s.E2Ep99ms = e2eS.Percentile(99)
 	if r.Makespan > 0 {
 		s.ThroughputTokS = float64(tokens) / (float64(r.Makespan) / 1e9)
 		s.GoodputTokS = float64(goodTokens) / (float64(r.Makespan) / 1e9)

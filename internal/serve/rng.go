@@ -49,6 +49,17 @@ func (r *RNG) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(mu + sigma*r.Norm())
 }
 
+// Mix64 is the splitmix64 finalizer as a stateless 64-bit hash: the same
+// avalanche the RNG stream uses, applied to a single value. The routing
+// layer uses it to pin prefix groups to replicas; it must stay stable
+// across releases for the same reason the RNG must (goldens).
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Intn returns a uniform integer in [0, n). Panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {

@@ -1,0 +1,108 @@
+package serve
+
+// The multi-replica router: N independent replica engines — each a full
+// continuous-batching Scheduler over its own simulated cluster — behind an
+// arrival-splitting routing policy, all inside one discrete-event engine.
+// This is the layer where cluster-scale serving is decided: at equal
+// offered load, tail latency and goodput are set by how arrivals are
+// split, not just by how fast one replica's kernels and collectives run.
+//
+// Everything stays deterministic: arrivals are engine events in workload
+// order, each policy decision is a pure function of the engine state at
+// the arrival instant, and replica event interleavings follow the
+// engine's total (time, FIFO) order — so routed results are bit-stable
+// and golden-gated like every other artifact.
+
+import (
+	"fmt"
+
+	"mscclpp/internal/sim"
+)
+
+// RouterConfig parameterizes a routed multi-replica simulation.
+type RouterConfig struct {
+	// Replicas is the number of independent replica engines. Must be >= 1.
+	Replicas int
+	// Policy splits arrivals across replicas. Defaults to round-robin.
+	// The instance must be fresh (policies carry routing state).
+	Policy Policy
+	// Replica configures every replica engine; each gets its own
+	// Scheduler, KV budget and metrics over this shared configuration.
+	Replica Config
+}
+
+// RoutedResult is the outcome of one routed simulation: the per-replica
+// results in replica order, and their merge (MergeResults) as the
+// cluster-level view.
+type RoutedResult struct {
+	Policy     string    `json:"policy"`
+	PerReplica []*Result `json:"per_replica"`
+	Merged     *Result   `json:"merged"`
+}
+
+// Summarize aggregates the cluster-level (merged) result under an SLO.
+func (r *RoutedResult) Summarize(slo SLO) Summary { return r.Merged.Summarize(slo) }
+
+// RunRouted replays the workload against Replicas independent replica
+// engines behind the routing policy and returns per-replica and merged
+// metrics. Each arrival is an engine event that asks the policy for a
+// replica index (with every replica's live queue state visible) and
+// submits the request there; replicas then run their continuous-batching
+// schedules side by side in one virtual timeline.
+func RunRouted(rc RouterConfig, wl Workload) (*RoutedResult, error) {
+	if rc.Replicas < 1 {
+		return nil, fmt.Errorf("serve: RouterConfig.Replicas = %d", rc.Replicas)
+	}
+	pol := rc.Policy
+	if pol == nil {
+		pol = NewRoundRobin()
+	}
+	if _, err := prepare(rc.Replica, wl); err != nil {
+		return nil, err
+	}
+
+	eng := sim.NewEngine()
+	replicas := make([]*Scheduler, rc.Replicas)
+	for i := range replicas {
+		s, err := NewScheduler(eng, fmt.Sprintf("replica-%d", i), rc.Replica)
+		if err != nil {
+			return nil, err
+		}
+		s.res.Workload = wl.Name
+		replicas[i] = s
+	}
+
+	var last sim.Time
+	for _, r := range wl.Requests {
+		req := r
+		eng.At(req.Arrival, func() {
+			i := pol.Pick(req, replicas)
+			if i < 0 || i >= len(replicas) {
+				panic(fmt.Sprintf("serve: policy %s picked replica %d of %d", pol.Name(), i, len(replicas)))
+			}
+			replicas[i].Submit(req)
+		})
+		if req.Arrival > last {
+			last = req.Arrival
+		}
+	}
+	// The arrival stream ends at the last arrival; Close is scheduled at
+	// the same instant but after every same-instant Submit (FIFO order),
+	// letting each replica drain and its scheduler process exit.
+	eng.At(last, func() {
+		for _, s := range replicas {
+			s.Close()
+		}
+	})
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+
+	out := &RoutedResult{Policy: pol.Name(), PerReplica: make([]*Result, len(replicas))}
+	for i, s := range replicas {
+		out.PerReplica[i] = s.Result()
+	}
+	out.Merged = MergeResults(out.PerReplica...)
+	out.Merged.Workload = wl.Name
+	return out, nil
+}

@@ -7,6 +7,13 @@ package serve
 // duration comes from the internal/inference roofline + simulated-collective
 // step models, so serving metrics inherit the calibrated communication
 // behavior of the underlying cluster model.
+//
+// The scheduler is an embeddable component: NewScheduler attaches one
+// replica engine to an existing sim.Engine, requests are fed in through
+// Submit (an event hook callable at any virtual time), and Close marks the
+// end of the arrival stream so the scheduler process can drain and exit.
+// Run wires a single replica to a fresh engine; internal/serve's router
+// (router.go) runs several side by side behind an arrival-splitting policy.
 
 import (
 	"fmt"
@@ -16,7 +23,7 @@ import (
 	"mscclpp/internal/topology"
 )
 
-// Config parameterizes one serving simulation.
+// Config parameterizes one serving engine replica.
 type Config struct {
 	Env   *topology.Env
 	Model inference.Model
@@ -77,6 +84,45 @@ func (c *Config) validate() error {
 	return nil
 }
 
+// checkRequest rejects a request the defaulted config could never admit:
+// it would sit at the head of the FIFO forever and deadlock the replica.
+func (c *Config) checkRequest(r Request) error {
+	if r.PromptLen < 1 || r.OutputLen < 1 {
+		return fmt.Errorf("serve: request %d has prompt %d / output %d tokens", r.ID, r.PromptLen, r.OutputLen)
+	}
+	if r.PrefixLen < 0 {
+		return fmt.Errorf("serve: request %d has negative prefix length %d", r.ID, r.PrefixLen)
+	}
+	if need := int64(r.PromptLen+r.OutputLen) * c.Model.KVBytesPerTokenPerGPU; need > c.KVCapacityBytes {
+		return fmt.Errorf("serve: request %d needs %d KV bytes, capacity %d — it can never be admitted",
+			r.ID, need, c.KVCapacityBytes)
+	}
+	return nil
+}
+
+// prepare is the single driver-side validation point shared by Run and
+// RunRouted: it defaults and validates the config, then checks every
+// request against it (and the model's KV accounting) before any engine is
+// built, so impossible workloads error out deterministically instead of
+// hanging a replica. NewScheduler independently re-validates the config —
+// intentional defense-in-depth for embedders that construct schedulers
+// directly.
+func prepare(cfg Config, wl Workload) (Config, error) {
+	c := cfg.withDefaults()
+	if err := c.validate(); err != nil {
+		return c, err
+	}
+	if c.Model.KVBytesPerTokenPerGPU < 1 {
+		return c, fmt.Errorf("serve: model %s has KVBytesPerTokenPerGPU = %d", c.Model.Name, c.Model.KVBytesPerTokenPerGPU)
+	}
+	for _, r := range wl.Requests {
+		if err := c.checkRequest(r); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
 // reqState tracks one admitted request through prefill and decode.
 type reqState struct {
 	req         Request
@@ -85,153 +131,270 @@ type reqState struct {
 	kvReserved  int64    // bytes reserved against the KV budget
 	admitAt     sim.Time // when admission succeeded
 	firstTok    sim.Time // when the first output token appeared
+	prefixHit   bool     // admission found the shared prefix cached
 }
 
-// Run replays the workload against the configured serving engine and
-// returns per-request metrics. It builds a fresh discrete-event engine,
-// schedules every arrival as an engine event, and runs the scheduler
-// process until the last request completes.
-func Run(cfg Config, wl Workload) (*Result, error) {
+// Scheduler is one continuous-batching replica running as a process on a
+// shared sim.Engine. Zero or more Schedulers may coexist on one engine;
+// each owns its simulated cluster (Config.Env), KV budget and Metrics.
+type Scheduler struct {
+	cfg      Config // defaults applied
+	kvPerTok int64
+	eng      *sim.Engine
+	arrived  *sim.Cond
+
+	waiting    []*reqState // FIFO arrival order
+	active     []*reqState // admission order; resident in the engine
+	kvUsed     int64
+	inflight   int64 // tokens submitted but not yet processed (JSQ load signal)
+	closed     bool
+	prefixSeen map[uint64]bool
+
+	res      *Result
+	hasReq   bool
+	firstArr sim.Time
+	lastDone sim.Time
+}
+
+// NewScheduler attaches a new replica to eng and spawns its scheduler
+// process under the given name. The process runs until Close has been
+// called and every submitted request has completed.
+func NewScheduler(eng *sim.Engine, name string, cfg Config) (*Scheduler, error) {
 	c := cfg.withDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
-	kvPerTok := c.Model.KVBytesPerTokenPerGPU
-	if kvPerTok < 1 {
-		return nil, fmt.Errorf("serve: model %s has KVBytesPerTokenPerGPU = %d", c.Model.Name, kvPerTok)
+	if c.Model.KVBytesPerTokenPerGPU < 1 {
+		return nil, fmt.Errorf("serve: model %s has KVBytesPerTokenPerGPU = %d", c.Model.Name, c.Model.KVBytesPerTokenPerGPU)
 	}
-	for _, r := range wl.Requests {
-		if r.PromptLen < 1 || r.OutputLen < 1 {
-			return nil, fmt.Errorf("serve: request %d has prompt %d / output %d tokens", r.ID, r.PromptLen, r.OutputLen)
+	s := &Scheduler{
+		cfg:        c,
+		kvPerTok:   c.Model.KVBytesPerTokenPerGPU,
+		eng:        eng,
+		arrived:    sim.NewCond(eng),
+		prefixSeen: make(map[uint64]bool),
+		res:        &Result{},
+	}
+	eng.Spawn(name, s.loop)
+	return s, nil
+}
+
+// Submit enqueues req at the current virtual time. It must be called from
+// engine context (an At callback or a running Proc) and before Close.
+// Requests the replica can never admit must be filtered by the caller
+// first — Run and RunRouted pre-validate every request via prepare —
+// otherwise Submit panics rather than let the replica deadlock.
+func (s *Scheduler) Submit(req Request) {
+	if s.closed {
+		panic(fmt.Sprintf("serve: Submit(request %d) after Close", req.ID))
+	}
+	if err := s.cfg.checkRequest(req); err != nil {
+		panic(err.Error())
+	}
+	if !s.hasReq || req.Arrival < s.firstArr {
+		s.firstArr = req.Arrival
+	}
+	s.hasReq = true
+	s.inflight += int64(req.PromptLen + req.OutputLen)
+	s.waiting = append(s.waiting, &reqState{req: req})
+	s.arrived.Broadcast()
+}
+
+// Close marks the end of the arrival stream: once the queue and the
+// running batch drain, the scheduler process exits and the replica's
+// Result is final. Must be called from engine context, at or after the
+// last Submit.
+func (s *Scheduler) Close() {
+	s.closed = true
+	s.arrived.Broadcast()
+}
+
+// InFlightTokens is the replica's outstanding work: prompt + output tokens
+// of every submitted request, minus tokens already processed. This is the
+// join-shortest-queue load signal — token-weighted, so one 8K-prompt
+// request counts for more than ten chat turns.
+func (s *Scheduler) InFlightTokens() int64 { return s.inflight }
+
+// QueuedRequests is the number of requests waiting for admission.
+func (s *Scheduler) QueuedRequests() int { return len(s.waiting) }
+
+// ActiveRequests is the number of requests resident in the running batch.
+func (s *Scheduler) ActiveRequests() int { return len(s.active) }
+
+// HasPrefix reports whether the replica has already prefilled (and so
+// notionally caches) the shared prefix of the given group.
+func (s *Scheduler) HasPrefix(group uint64) bool { return s.prefixSeen[group] }
+
+// Result returns the replica's metrics. Only complete after the engine has
+// drained (every submitted request finished and Close was called).
+func (s *Scheduler) Result() *Result { return s.res }
+
+// loop is the scheduler process body: admit, form a batch, price it,
+// sleep, apply effects; park when idle; exit when closed and drained.
+func (s *Scheduler) loop(p *sim.Proc) {
+	for {
+		if len(s.active) == 0 {
+			p.Wait(s.arrived, "waiting for arrivals", func() bool { return len(s.waiting) > 0 || s.closed })
+			if len(s.waiting) == 0 {
+				// Pred held with nothing queued: closed and fully drained.
+				break
+			}
 		}
-		if need := int64(r.PromptLen+r.OutputLen) * kvPerTok; need > c.KVCapacityBytes {
-			return nil, fmt.Errorf("serve: request %d needs %d KV bytes, capacity %d — it can never be admitted",
-				r.ID, need, c.KVCapacityBytes)
+		s.iterate(p)
+	}
+	if s.hasReq {
+		s.res.Makespan = s.lastDone - s.firstArr
+	}
+}
+
+// iterate runs one engine iteration: admission, batch formation, pricing,
+// and effect application at the iteration's completion time.
+func (s *Scheduler) iterate(p *sim.Proc) {
+	c := &s.cfg
+	// Admission: FIFO while the batch bound and the KV budget allow.
+	// Head-of-line blocking on KV is intentional — admitting smaller
+	// requests around a stuck head would starve long prompts.
+	for len(s.waiting) > 0 && len(s.active) < c.MaxBatch {
+		head := s.waiting[0]
+		need := int64(head.req.PromptLen+head.req.OutputLen) * s.kvPerTok
+		if s.kvUsed+need > c.KVCapacityBytes {
+			break
 		}
+		s.waiting = s.waiting[1:]
+		head.kvReserved = need
+		s.kvUsed += need
+		head.admitAt = p.Now()
+		// KV prefix reuse: a replica that has already prefilled this
+		// request's shared prefix (prefixSeen is set at prefill completion,
+		// so the discount is only granted for KV that actually exists)
+		// skips those prompt tokens, but at least one token always goes
+		// through prefill so the first-token event stays well-defined. The
+		// KV reservation stays at the full footprint — conservative, like
+		// the rest of the admission policy.
+		if g := head.req.PrefixGroup; g != 0 && head.req.PrefixLen > 0 && s.prefixSeen[g] {
+			d := head.req.PrefixLen
+			if d > head.req.PromptLen-1 {
+				d = head.req.PromptLen - 1
+			}
+			head.prefillDone = d
+			head.prefixHit = true
+			s.inflight -= int64(d)
+		}
+		s.active = append(s.active, head)
+	}
+
+	// Form the iteration: a chunked-prefill token budget spread FIFO
+	// over admitted-but-unprefilled requests, plus one decode token
+	// for every running sequence.
+	chunkLeft := c.ChunkTokens
+	type prefillShare struct {
+		rs  *reqState
+		tok int
+	}
+	var prefills []prefillShare
+	var decoders []*reqState
+	var decodeCtx int64
+	for _, rs := range s.active {
+		if rs.prefillDone < rs.req.PromptLen {
+			if chunkLeft > 0 {
+				tok := rs.req.PromptLen - rs.prefillDone
+				if tok > chunkLeft {
+					tok = chunkLeft
+				}
+				prefills = append(prefills, prefillShare{rs, tok})
+				chunkLeft -= tok
+			}
+		} else if rs.generated < rs.req.OutputLen {
+			decoders = append(decoders, rs)
+			decodeCtx += int64(rs.req.PromptLen + rs.generated)
+		}
+	}
+
+	// Price the iteration. Prefill and decode execute back to back
+	// within one engine step (the non-fused form of chunked prefill);
+	// each side pays its own roofline + TP-communication cost.
+	dur := c.SchedOverhead
+	chunkTok := c.ChunkTokens - chunkLeft
+	if chunkTok > 0 {
+		dur += inference.PrefillStep(c.Env, c.Model, 1, chunkTok, c.AR)
+	}
+	if len(decoders) > 0 {
+		dur += inference.DecodeStepCtx(c.Env, c.Model, len(decoders), decodeCtx, c.AR)
+	}
+	p.Sleep(dur)
+	end := p.Now()
+	s.res.Iterations++
+
+	// Apply the iteration's effects at its completion time.
+	for _, ps := range prefills {
+		ps.rs.prefillDone += ps.tok
+		s.inflight -= int64(ps.tok)
+		if ps.rs.prefillDone == ps.rs.req.PromptLen {
+			// Prefill completion emits the first output token, and only
+			// now is the request's shared prefix KV resident — requests of
+			// the same group admitted earlier (e.g. within one burst) paid
+			// full prefill, as they would have on real hardware.
+			ps.rs.generated = 1
+			s.inflight--
+			ps.rs.firstTok = end
+			if g := ps.rs.req.PrefixGroup; g != 0 {
+				s.prefixSeen[g] = true
+			}
+		}
+	}
+	for _, rs := range decoders {
+		rs.generated++
+		s.inflight--
+	}
+	keep := s.active[:0]
+	for _, rs := range s.active {
+		if rs.generated >= rs.req.OutputLen && rs.prefillDone == rs.req.PromptLen {
+			s.kvUsed -= rs.kvReserved
+			s.lastDone = end
+			s.res.PerRequest = append(s.res.PerRequest, RequestMetrics{
+				ID:         rs.req.ID,
+				PromptLen:  rs.req.PromptLen,
+				OutputLen:  rs.req.OutputLen,
+				Arrival:    rs.req.Arrival,
+				Admitted:   rs.admitAt,
+				FirstToken: rs.firstTok,
+				Done:       end,
+				PrefixHit:  rs.prefixHit,
+			})
+		} else {
+			keep = append(keep, rs)
+		}
+	}
+	s.active = keep
+}
+
+// Run replays the workload against a single replica and returns its
+// per-request metrics. It builds a fresh discrete-event engine, schedules
+// every arrival as an engine event, and runs the scheduler process until
+// the last request completes.
+func Run(cfg Config, wl Workload) (*Result, error) {
+	if _, err := prepare(cfg, wl); err != nil {
+		return nil, err
 	}
 
 	eng := sim.NewEngine()
-	arrived := sim.NewCond(eng)
-	var waiting []*reqState // FIFO arrival order
+	s, err := NewScheduler(eng, "serve-scheduler", cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.res.Workload = wl.Name
+	s.res.PerRequest = make([]RequestMetrics, 0, len(wl.Requests))
+	var last sim.Time
 	for _, r := range wl.Requests {
 		req := r
-		eng.At(req.Arrival, func() {
-			waiting = append(waiting, &reqState{req: req})
-			arrived.Broadcast()
-		})
-	}
-
-	res := &Result{
-		Workload:   wl.Name,
-		PerRequest: make([]RequestMetrics, 0, len(wl.Requests)),
-	}
-	var kvUsed int64
-	var active []*reqState // admission order; resident in the engine
-	completed := 0
-	total := len(wl.Requests)
-
-	sched := func(p *sim.Proc) {
-		for completed < total {
-			if len(active) == 0 {
-				p.Wait(arrived, "waiting for arrivals", func() bool { return len(waiting) > 0 })
-			}
-			// Admission: FIFO while the batch bound and the KV budget allow.
-			// Head-of-line blocking on KV is intentional — admitting smaller
-			// requests around a stuck head would starve long prompts.
-			for len(waiting) > 0 && len(active) < c.MaxBatch {
-				head := waiting[0]
-				need := int64(head.req.PromptLen+head.req.OutputLen) * kvPerTok
-				if kvUsed+need > c.KVCapacityBytes {
-					break
-				}
-				waiting = waiting[1:]
-				head.kvReserved = need
-				kvUsed += need
-				head.admitAt = p.Now()
-				active = append(active, head)
-			}
-
-			// Form the iteration: a chunked-prefill token budget spread FIFO
-			// over admitted-but-unprefilled requests, plus one decode token
-			// for every running sequence.
-			chunkLeft := c.ChunkTokens
-			type prefillShare struct {
-				rs  *reqState
-				tok int
-			}
-			var prefills []prefillShare
-			var decoders []*reqState
-			var decodeCtx int64
-			for _, rs := range active {
-				if rs.prefillDone < rs.req.PromptLen {
-					if chunkLeft > 0 {
-						tok := rs.req.PromptLen - rs.prefillDone
-						if tok > chunkLeft {
-							tok = chunkLeft
-						}
-						prefills = append(prefills, prefillShare{rs, tok})
-						chunkLeft -= tok
-					}
-				} else if rs.generated < rs.req.OutputLen {
-					decoders = append(decoders, rs)
-					decodeCtx += int64(rs.req.PromptLen + rs.generated)
-				}
-			}
-
-			// Price the iteration. Prefill and decode execute back to back
-			// within one engine step (the non-fused form of chunked prefill);
-			// each side pays its own roofline + TP-communication cost.
-			dur := c.SchedOverhead
-			chunkTok := c.ChunkTokens - chunkLeft
-			if chunkTok > 0 {
-				dur += inference.PrefillStep(c.Env, c.Model, 1, chunkTok, c.AR)
-			}
-			if len(decoders) > 0 {
-				dur += inference.DecodeStepCtx(c.Env, c.Model, len(decoders), decodeCtx, c.AR)
-			}
-			p.Sleep(dur)
-			end := p.Now()
-			res.Iterations++
-
-			// Apply the iteration's effects at its completion time.
-			for _, ps := range prefills {
-				ps.rs.prefillDone += ps.tok
-				if ps.rs.prefillDone == ps.rs.req.PromptLen {
-					// Prefill completion emits the first output token.
-					ps.rs.generated = 1
-					ps.rs.firstTok = end
-				}
-			}
-			for _, rs := range decoders {
-				rs.generated++
-			}
-			keep := active[:0]
-			for _, rs := range active {
-				if rs.generated >= rs.req.OutputLen && rs.prefillDone == rs.req.PromptLen {
-					kvUsed -= rs.kvReserved
-					completed++
-					res.PerRequest = append(res.PerRequest, RequestMetrics{
-						ID:         rs.req.ID,
-						PromptLen:  rs.req.PromptLen,
-						OutputLen:  rs.req.OutputLen,
-						Arrival:    rs.req.Arrival,
-						Admitted:   rs.admitAt,
-						FirstToken: rs.firstTok,
-						Done:       end,
-					})
-				} else {
-					keep = append(keep, rs)
-				}
-			}
-			active = keep
+		eng.At(req.Arrival, func() { s.Submit(req) })
+		if req.Arrival > last {
+			last = req.Arrival
 		}
 	}
-	eng.Spawn("serve-scheduler", sched)
+	eng.At(last, s.Close)
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	if len(wl.Requests) > 0 {
-		res.Makespan = eng.Now() - wl.Requests[0].Arrival
-	}
-	return res, nil
+	return s.Result(), nil
 }
