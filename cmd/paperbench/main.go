@@ -1,6 +1,8 @@
-// Command paperbench drives the paper-artifact scenario registry
+// Command paperbench drives the artifact scenario registry
 // (internal/scenario): it lists, runs, and regression-checks every table
-// and figure the repository reproduces.
+// and figure the repository reproduces, plus the serving-stack artifacts
+// grown on top of them (the serve-* scenarios: continuous batching,
+// multi-replica routing, prefix affinity, disaggregated prefill/decode).
 //
 // Usage:
 //

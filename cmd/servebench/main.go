@@ -3,20 +3,29 @@
 // reporting TTFT/TPOT tails and goodput under SLOs per communication
 // backend (internal/serve layered on internal/inference + the simulated
 // collectives), plus the multi-replica routing artifacts (round-robin vs
-// JSQ vs prefix-affinity arrival splitting).
+// JSQ vs prefix-affinity arrival splitting) and the disaggregated
+// prefill/decode artifact (pool splits with fabric-priced KV handoff).
 //
 // It is a thin wrapper over the internal/scenario registry; use
 // cmd/paperbench for listing, JSON records and golden-output checks.
 //
 // Usage:
 //
-//	servebench -experiment all|llama70b|deepseek|ratesweep|routing|affinity
+//	servebench -experiment all|llama70b|deepseek|ratesweep|routing|affinity|disagg
 //
-// Setting any of -replicas/-policy/-requests/-rate/-seed instead runs an
-// ad-hoc routed simulation (Llama3-70B TP=8 per replica, A100-80G,
-// MSCCL++) with the chosen replica count and routing policy:
+// Setting any of -replicas/-policy/-requests/-rate/-seed/-disagg/
+// -prefill-replicas instead runs an ad-hoc simulation (Llama3-70B TP=8
+// per replica, A100-80G, MSCCL++) with the chosen replica count and
+// routing policy:
 //
 //	servebench -replicas 4 -policy jsq -requests 400 -rate 30
+//
+// With -disagg the same replica slots are split into a disaggregated
+// prefill/decode deployment: -prefill-replicas of the -replicas total run
+// prompt processing only, the rest decode only, and every finished prefill
+// hands its KV cache to a decode replica over the simulated fabric:
+//
+//	servebench -disagg -replicas 4 -prefill-replicas 2 -requests 400 -rate 20
 package main
 
 import (
@@ -41,21 +50,27 @@ var experiments = []struct{ short, name string }{
 	{"ratesweep", "serve-ratesweep"},
 	{"routing", "serve-routing"},
 	{"affinity", "serve-affinity"},
+	{"disagg", "serve-disagg"},
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "llama70b|deepseek|ratesweep|routing|affinity|all")
+	exp := flag.String("experiment", "all", "llama70b|deepseek|ratesweep|routing|affinity|disagg|all")
 	replicas := flag.Int("replicas", 3, "ad-hoc mode: number of replica engines (enables ad-hoc routed run)")
-	policy := flag.String("policy", "jsq", "ad-hoc mode: routing policy ("+strings.Join(serve.PolicyNames(), "|")+")")
+	policy := flag.String("policy", "jsq", "ad-hoc mode: routing policy, or pool policy with -disagg ("+strings.Join(serve.PolicyNames(), "|")+")")
 	requests := flag.Int("requests", 300, "ad-hoc mode: number of requests")
 	rate := flag.Float64("rate", 24, "ad-hoc mode: Poisson arrival rate, requests/second (aggregate)")
 	seed := flag.Uint64("seed", 1, "ad-hoc mode: workload seed")
+	disagg := flag.Bool("disagg", false, "ad-hoc mode: run a disaggregated prefill/decode deployment instead of a routed one")
+	prefillReplicas := flag.Int("prefill-replicas", 1, "ad-hoc -disagg mode: how many of -replicas run prefill (the rest decode)")
 	flag.Parse()
 
-	adhocFlagsSet := false
+	adhocFlagsSet, prefillSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "replicas", "policy", "requests", "rate", "seed":
+		case "prefill-replicas":
+			prefillSet = true
+			adhocFlagsSet = true
+		case "replicas", "policy", "requests", "rate", "seed", "disagg":
 			adhocFlagsSet = true
 		}
 	})
@@ -64,12 +79,26 @@ func main() {
 		// ambiguous combination instead of silently ignoring flags (registry
 		// artifacts have fixed workloads; the ad-hoc flags cannot apply).
 		if *exp != "all" {
-			log.Fatalf("ad-hoc flags (-replicas/-policy/-requests/-rate/-seed) cannot be combined with -experiment %s", *exp)
+			log.Fatalf("ad-hoc flags (-replicas/-policy/-requests/-rate/-seed/-disagg/-prefill-replicas) cannot be combined with -experiment %s", *exp)
 		}
 		if *requests < 1 || *rate <= 0 || *replicas < 1 {
 			log.Fatalf("ad-hoc mode needs -requests >= 1, -rate > 0 and -replicas >= 1 (got %d, %g, %d)", *requests, *rate, *replicas)
 		}
-		if err := runAdhoc(*replicas, *policy, *requests, *rate, *seed); err != nil {
+		var err error
+		if *disagg {
+			if *prefillReplicas < 1 || *prefillReplicas >= *replicas {
+				log.Fatalf("-disagg needs 1 <= -prefill-replicas < -replicas (got %d of %d)", *prefillReplicas, *replicas)
+			}
+			err = runAdhocDisagg(*prefillReplicas, *replicas-*prefillReplicas, *policy, *requests, *rate, *seed)
+		} else {
+			if prefillSet {
+				// Same fail-fast rule as the registry/ad-hoc split: refuse
+				// the flag rather than silently ignoring it.
+				log.Fatal("-prefill-replicas only applies with -disagg")
+			}
+			err = runAdhoc(*replicas, *policy, *requests, *rate, *seed)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -94,6 +123,31 @@ func main() {
 	}
 }
 
+// adhocSLO is the latency objective of both ad-hoc modes.
+var adhocSLO = serve.SLO{MaxTTFT: 2 * sim.Second, MaxTPOT: 100 * sim.Millisecond}
+
+// adhocReplica is the shared per-replica engine configuration of both
+// ad-hoc modes (routed and disaggregated): Llama3-70B TP=8 on one
+// A100-80G node with MSCCL++ collectives. Keeping it in one place keeps
+// the routed-vs-disagg ad-hoc comparison honest.
+func adhocReplica() serve.Config {
+	envFn := func() *topology.Env { return topology.A100_80G(1) }
+	return serve.Config{
+		Env:             envFn(),
+		Model:           inference.Llama3x70B(8),
+		AR:              inference.NewARTimer(envFn, inference.LibMSCCLPP).Time,
+		MaxBatch:        24,
+		KVCapacityBytes: 4 << 30,
+		ChunkTokens:     512,
+	}
+}
+
+// adhocWorkload is the seeded Poisson request stream of both ad-hoc modes.
+func adhocWorkload(requests int, rate float64, seed uint64) serve.Workload {
+	return serve.Poisson(seed, requests, rate,
+		serve.LogNormalLen(512, 0.6, 2048), serve.LogNormalLen(64, 0.5, 192))
+}
+
 // runAdhoc replays one seeded Poisson workload through a routed
 // multi-replica cluster and prints the merged and per-replica summaries.
 func runAdhoc(replicas int, policy string, requests int, rate float64, seed uint64) error {
@@ -101,26 +155,15 @@ func runAdhoc(replicas int, policy string, requests int, rate float64, seed uint
 	if err != nil {
 		return err
 	}
-	envFn := func() *topology.Env { return topology.A100_80G(1) }
-	timer := inference.NewARTimer(envFn, inference.LibMSCCLPP)
-	wl := serve.Poisson(seed, requests, rate,
-		serve.LogNormalLen(512, 0.6, 2048), serve.LogNormalLen(64, 0.5, 192))
 	res, err := serve.RunRouted(serve.RouterConfig{
 		Replicas: replicas,
 		Policy:   pol,
-		Replica: serve.Config{
-			Env:             envFn(),
-			Model:           inference.Llama3x70B(8),
-			AR:              timer.Time,
-			MaxBatch:        24,
-			KVCapacityBytes: 4 << 30,
-			ChunkTokens:     512,
-		},
-	}, wl)
+		Replica:  adhocReplica(),
+	}, adhocWorkload(requests, rate, seed))
 	if err != nil {
 		return err
 	}
-	slo := serve.SLO{MaxTTFT: 2 * sim.Second, MaxTPOT: 100 * sim.Millisecond}
+	slo := adhocSLO
 	s := res.Summarize(slo)
 	fmt.Printf("Routed serving: %d requests at %.3g req/s over %d replicas, policy %s (Llama3-70b TP=8, A100-80G, MSCCL++)\n",
 		requests, rate, replicas, res.Policy)
@@ -130,6 +173,50 @@ func runAdhoc(replicas int, policy string, requests int, rate float64, seed uint
 		ps := pr.Summarize(slo)
 		fmt.Printf("  replica %d: %4d requests, ttft p99 %8.1f ms, %d iterations\n",
 			i, ps.Requests, ps.TTFTp99ms, ps.Iterations)
+	}
+	return nil
+}
+
+// runAdhocDisagg replays one seeded Poisson workload through a
+// disaggregated prefill/decode deployment (both pools routed by the named
+// policy) and prints the merged summary plus the KV-handoff accounting
+// and per-pool breakdown.
+func runAdhocDisagg(prefill, decode int, policy string, requests int, rate float64, seed uint64) error {
+	// Policies are stateful; each pool needs its own fresh instance.
+	ppol, err := serve.PolicyByName(policy)
+	if err != nil {
+		return err
+	}
+	dpol, err := serve.PolicyByName(policy)
+	if err != nil {
+		return err
+	}
+	res, err := serve.RunDisaggregated(serve.DisaggConfig{
+		PrefillReplicas: prefill,
+		DecodeReplicas:  decode,
+		Replica:         adhocReplica(),
+		PrefillPolicy:   ppol,
+		DecodePolicy:    dpol,
+	}, adhocWorkload(requests, rate, seed))
+	if err != nil {
+		return err
+	}
+	slo := adhocSLO
+	s := res.Summarize(slo)
+	fmt.Printf("Disaggregated serving: %d requests at %.3g req/s over %dp+%dd replicas, pool policy %s (Llama3-70b TP=8, A100-80G, MSCCL++)\n",
+		requests, rate, prefill, decode, res.PrefillPolicy)
+	fmt.Printf("  merged: ttft p50 %.1f ms p99 %.1f ms | tpot p99 %.1f ms | goodput %.0f tok/s | SLO %.1f%%\n",
+		s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment)
+	fmt.Printf("  KV handoff: %d transfers, %.1f GB moved, mean %.2f ms, max %.2f ms\n",
+		res.Handoffs, float64(res.HandoffBytes)/1e9, float64(res.HandoffMeanNs)/1e6, float64(res.HandoffMaxNs)/1e6)
+	for i, pr := range res.PerPrefill {
+		fmt.Printf("  prefill %d: %d iterations (%d one-token requests completed locally)\n",
+			i, pr.Iterations, len(pr.PerRequest))
+	}
+	for j, pr := range res.PerDecode {
+		ps := pr.Summarize(slo)
+		fmt.Printf("  decode %d: %4d requests, tpot p99 %6.1f ms, %d iterations\n",
+			j, ps.Requests, ps.TPOTp99ms, ps.Iterations)
 	}
 	return nil
 }

@@ -1,0 +1,58 @@
+package mscclpp
+
+// Repository-wide documentation gates: every Markdown file's relative
+// links must resolve against the tree. This is the `go test` face of the
+// CI docs job, so a renamed file or package whose README still points at
+// the old path fails locally before it fails in CI.
+
+import (
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mscclpp/internal/doccheck"
+)
+
+// TestReadmeLinksResolve walks every committed Markdown file and fails on
+// any relative link whose target does not exist.
+func TestReadmeLinksResolve(t *testing.T) {
+	var checked int
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			// Goldens and fuzz corpora contain no docs; .git is not ours.
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		switch d.Name() {
+		case "SNIPPETS.md", "PAPERS.md", "PAPER.md":
+			// Retrieval-provided reference material quoted verbatim from
+			// other repositories; its links point into those trees, not
+			// ours, and are not part of this repo's documentation.
+			return nil
+		}
+		checked++
+		broken, err := doccheck.BrokenLinks(path)
+		if err != nil {
+			return err
+		}
+		for _, b := range broken {
+			t.Errorf("%s: broken relative link %s", path, b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked < 5 {
+		t.Fatalf("walked only %d Markdown files — the link gate is not seeing the tree", checked)
+	}
+}

@@ -1,0 +1,94 @@
+// Disaggregation example: the same Poisson request stream replayed against
+// (a) a chunked-prefill cluster — every replica interleaves prompt
+// processing with decode — and (b) every disaggregated prefill/decode
+// split of the same replica slots, where finished prefills hand their KV
+// cache to a decode replica over the simulated cluster fabric
+// (serve.RunDisaggregated). The handoff is priced per tensor-parallel rank
+// on the fabric's RDMA NICs, so the comparison shows both sides of the
+// trade: decode iterations freed from prefill chunks, against prompt
+// queueing on a smaller prefill pool plus real transfer time.
+//
+// Flags keep it smoke-test friendly:
+//
+//	go run ./examples/disagg -requests 60 -slots 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mscclpp/internal/inference"
+	"mscclpp/internal/serve"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
+)
+
+func main() {
+	n := flag.Int("requests", 240, "number of requests")
+	slots := flag.Int("slots", 4, "replica slots (chunked uses all; disagg splits them)")
+	rate := flag.Float64("rate", 14, "Poisson arrival rate, requests/second")
+	median := flag.Float64("prompt-median", 1536, "median prompt length, tokens")
+	seed := flag.Uint64("seed", 21, "workload seed")
+	flag.Parse()
+	if *slots < 2 {
+		log.Fatal("need -slots >= 2 to have both a prefill and a decode pool")
+	}
+
+	envFn := func() *topology.Env { return topology.A100_80G(1) }
+	timer := inference.NewARTimer(envFn, inference.LibMSCCLPP)
+	replica := serve.Config{
+		Env:             envFn(),
+		Model:           inference.Llama3x70B(8),
+		AR:              timer.Time,
+		MaxBatch:        24,
+		KVCapacityBytes: 4 << 30,
+		ChunkTokens:     512,
+	}
+
+	wl := serve.Poisson(*seed, *n, *rate,
+		serve.LogNormalLen(*median, 0.6, int(*median*4)), serve.LogNormalLen(96, 0.5, 256))
+	fmt.Printf("Workload: %s — %d requests, %d prompt + %d output tokens (median prompt %.0f)\n",
+		wl.Name, len(wl.Requests), wl.TotalPromptTokens(), wl.TotalOutputTokens(), *median)
+	fmt.Printf("Cluster: %d replica slots, each Llama3-70b TP=8 on one A100-80G node (MSCCL++ collectives)\n\n", *slots)
+
+	slo := serve.SLO{MaxTTFT: 2 * sim.Second, MaxTPOT: 100 * sim.Millisecond}
+	fmt.Printf("%-12s %9s %9s %9s %9s %7s %11s %9s\n",
+		"config", "ttft p50", "ttft p99", "tpot p99", "goodput", "slo%", "handoff ms", "moved GB")
+
+	chunked, err := serve.RunRouted(serve.RouterConfig{
+		Replicas: *slots,
+		Policy:   serve.NewJSQ(),
+		Replica:  replica,
+	}, wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := chunked.Summarize(slo)
+	fmt.Printf("%-12s %9.1f %9.1f %9.1f %9.0f %6.1f%%\n",
+		fmt.Sprintf("chunked-%d", *slots), cs.TTFTp50ms, cs.TTFTp99ms, cs.TPOTp99ms, cs.GoodputTokS, 100*cs.SLOAttainment)
+
+	for p := 1; p < *slots; p++ {
+		res, err := serve.RunDisaggregated(serve.DisaggConfig{
+			PrefillReplicas: p,
+			DecodeReplicas:  *slots - p,
+			Replica:         replica,
+		}, wl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := res.Summarize(slo)
+		fmt.Printf("%-12s %9.1f %9.1f %9.1f %9.0f %6.1f%% %11.2f %9.1f\n",
+			fmt.Sprintf("disagg-%dp%dd", p, *slots-p),
+			s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment,
+			float64(res.HandoffMeanNs)/1e6, float64(res.HandoffBytes)/1e9)
+	}
+
+	fmt.Println("\nDecode pools never run prefill chunks, so while the decode side has")
+	fmt.Println("headroom TPOT collapses to the pure decode iteration time; the costs are")
+	fmt.Println("prompt queueing on the prefill pool, the fabric KV handoff, and — if the")
+	fmt.Println("decode pool is cut too small — decode queueing that inflates TPOT past")
+	fmt.Println("the chunked baseline. Long prompts and tight TPOT SLOs favor")
+	fmt.Println("disaggregation; short prompts keep chunked prefill ahead. Rerun with")
+	fmt.Println("-prompt-median / -rate / -slots to walk the crossover.")
+}

@@ -1,0 +1,152 @@
+// Package doccheck enforces the repository's documentation gates from
+// inside `go test`, so they hold on every developer machine and not just
+// in CI:
+//
+//   - Undocumented lists exported identifiers that lack a doc comment,
+//     backing the per-package "go doc output must be self-explanatory"
+//     gate (internal/serve and internal/scenario opt in via a one-line
+//     test).
+//   - BrokenLinks validates the relative links of a Markdown file against
+//     the filesystem, backing the README link gate at the repository root.
+//
+// Both checks return findings rather than failing themselves, so the
+// calling test owns the error message and the opt-in surface stays
+// explicit.
+package doccheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Undocumented parses the non-test Go sources of the package in dir and
+// returns a sorted list of exported identifiers that have no doc comment:
+// functions, methods with exported receivers, types, and const/var specs
+// (a group comment on the enclosing declaration covers its specs, matching
+// what `go doc` displays). An empty result means every exported symbol is
+// documented.
+func Undocumented(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(name string, pos token.Pos) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s (%s:%d)", name, filepath.Base(p.Filename), p.Line))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					name := d.Name.Name
+					if d.Recv != nil && len(d.Recv.List) == 1 {
+						recv := receiverName(d.Recv.List[0].Type)
+						if recv == "" || !ast.IsExported(recv) {
+							// Methods of unexported types (e.g. unexported
+							// implementations of an exported interface) do
+							// not appear in go doc output.
+							continue
+						}
+						name = recv + "." + name
+					}
+					report(name, d.Pos())
+				case *ast.GenDecl:
+					switch d.Tok {
+					case token.TYPE:
+						for _, spec := range d.Specs {
+							ts := spec.(*ast.TypeSpec)
+							if ts.Name.IsExported() && ts.Doc == nil && d.Doc == nil {
+								report(ts.Name.Name, ts.Pos())
+							}
+						}
+					case token.CONST, token.VAR:
+						for _, spec := range d.Specs {
+							vs := spec.(*ast.ValueSpec)
+							if vs.Doc != nil || d.Doc != nil {
+								continue
+							}
+							for _, id := range vs.Names {
+								if id.IsExported() {
+									report(id.Name, id.Pos())
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}
+
+// receiverName unwraps a method receiver type expression to its type name.
+func receiverName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return receiverName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverName(t.X)
+	case *ast.IndexListExpr:
+		return receiverName(t.X)
+	}
+	return ""
+}
+
+// mdLink matches inline Markdown links and images: [text](target). Angle
+// brackets, titles and reference-style links are out of scope — the
+// repository's READMEs use plain inline links.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// codeSpans matches fenced code blocks and inline code spans, which must
+// not be link-checked: Go snippets like pols[i](req) would otherwise
+// parse as Markdown links.
+var codeSpans = regexp.MustCompile("(?s)```.*?```|`[^`\n]*`")
+
+// BrokenLinks scans the Markdown file at path and returns each relative
+// link whose target does not exist on the filesystem (resolved against the
+// file's directory, anchors stripped). Absolute URLs (scheme://...) and
+// pure in-page anchors are skipped. An empty result means every local link
+// resolves.
+func BrokenLinks(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	prose := codeSpans.ReplaceAllString(string(data), "")
+	var broken []string
+	for _, m := range mdLink.FindAllStringSubmatch(prose, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+			broken = append(broken, fmt.Sprintf("%s -> %s", m[0], target))
+		}
+	}
+	return broken, nil
+}

@@ -1,0 +1,108 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUndocumentedDetection exercises the checker against a synthetic
+// package with every category of finding it must (and must not) flag.
+func TestUndocumentedDetection(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package fixture is a doccheck test fixture.
+package fixture
+
+// Documented has a doc comment.
+func Documented() {}
+
+func Undoc() {}
+
+func unexported() {}
+
+// T is documented.
+type T struct{}
+
+// Method is documented.
+func (T) Method() {}
+
+func (T) NoDoc() {}
+
+type U struct{}
+
+type hidden struct{}
+
+func (hidden) Exported() {}
+
+// Grouped constants share the declaration comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Bare = 3
+
+var (
+	// VarDoc has a spec comment.
+	VarDoc int
+
+	BareVar int
+)
+`
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files must be ignored entirely.
+	if err := os.WriteFile(filepath.Join(dir, "fixture_test.go"),
+		[]byte("package fixture\n\nfunc TestExportedNoDoc() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	missing, err := Undocumented(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, m := range missing {
+		name, _, _ := strings.Cut(m, " ")
+		got[name] = true
+	}
+	want := []string{"Undoc", "T.NoDoc", "U", "Bare", "BareVar"}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("checker missed undocumented %s (got %v)", w, missing)
+		}
+	}
+	if len(missing) != len(want) {
+		t.Errorf("flagged %d symbols, want %d: %v", len(missing), len(want), missing)
+	}
+}
+
+// TestBrokenLinks validates the Markdown link checker against present and
+// missing targets, anchors, and external URLs.
+func TestBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sub", "other.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := "# Test\n" +
+		"[ok](sub/other.md) [anchored](sub/other.md#sec) [web](https://example.com/x)\n" +
+		"[inpage](#here) [missing](nope.md) ![img](gone.png)\n" +
+		"Inline code `pols[i](req)` and fences are not links:\n" +
+		"```go\nhandlers[i](w)\nx := arr[j](y)\n```\n"
+	path := filepath.Join(dir, "README.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	broken, err := BrokenLinks(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("flagged %d links, want 2 (missing + img): %v", len(broken), broken)
+	}
+}

@@ -203,6 +203,21 @@ type Model struct {
 	ARsPerLayer int
 }
 
+// KVShardBytes returns the per-GPU KV-cache footprint of tokens context
+// tokens: layers x (K+V) x KV-heads x head-dim x dtype-bytes per token
+// (the product folded into KVBytesPerTokenPerGPU, already divided by the
+// tensor-parallel degree) times the token count. This is the shard one
+// GPU ships to its decode-pool peer when a disaggregated deployment hands
+// a finished prefill's cache over the fabric; every TP rank moves its own
+// shard in parallel, so the bytes-on-the-wire total is this value times
+// the TP degree.
+func (m Model) KVShardBytes(tokens int) int64 {
+	if tokens <= 0 {
+		return 0
+	}
+	return int64(tokens) * m.KVBytesPerTokenPerGPU
+}
+
 // Llama3x70B returns the Llama3-70B model sharded over tp GPUs (paper
 // Figure 11 setup: TP=8 on A100-80G).
 func Llama3x70B(tp int) Model {

@@ -144,3 +144,40 @@ func TestCustomKernelComparison(t *testing.T) {
 		t.Fatalf("MSCCL++ never meaningfully beats the custom kernel (best %.2fx)", best)
 	}
 }
+
+// TestKVShardBytesFormula pins the KV-size helper to the explicit
+// layers x (K+V) x KV-heads x head-dim x dtype-bytes / TP x tokens product
+// for both model cards, so disaggregated KV-handoff sizing can never drift
+// from the model definitions silently.
+func TestKVShardBytesFormula(t *testing.T) {
+	cases := []struct {
+		name      string
+		model     Model
+		perTokSum int64 // layers x (K+V) x kvHeads x headDim x dtypeBytes, pre-TP
+		tp        int
+	}{
+		// Llama3-70B: 80 layers, GQA with 8 KV heads x 128 head-dim, bf16.
+		{"llama3-70b tp8", Llama3x70B(8), 80 * 2 * 8 * 128 * 2, 8},
+		// DeepSeek-V3: 61 layers, MLA compressed KV of 576 elements, bf16
+		// (the compressed latent replaces the per-head K/V pair).
+		{"deepseek-v3 tp16", DeepSeekV3(16), 61 * 576 * 2, 16},
+	}
+	for _, c := range cases {
+		perTok := c.perTokSum / int64(c.tp)
+		if c.model.KVBytesPerTokenPerGPU != perTok {
+			t.Errorf("%s: KVBytesPerTokenPerGPU = %d, formula gives %d", c.name, c.model.KVBytesPerTokenPerGPU, perTok)
+		}
+		for _, tokens := range []int{1, 7, 512, 4096} {
+			want := int64(tokens) * perTok
+			if got := c.model.KVShardBytes(tokens); got != want {
+				t.Errorf("%s: KVShardBytes(%d) = %d, want %d", c.name, tokens, got, want)
+			}
+		}
+		if got := c.model.KVShardBytes(0); got != 0 {
+			t.Errorf("%s: KVShardBytes(0) = %d, want 0", c.name, got)
+		}
+		if got := c.model.KVShardBytes(-5); got != 0 {
+			t.Errorf("%s: KVShardBytes(-5) = %d, want 0", c.name, got)
+		}
+	}
+}

@@ -1,0 +1,24 @@
+package scenario
+
+// The exported-symbol documentation gate for the registry package: every
+// exported identifier must carry a doc comment so `go doc
+// mscclpp/internal/scenario` explains the whole artifact surface. CI
+// additionally runs staticcheck's stylecheck comment rules on this
+// package; this test keeps the gate in plain `go test` too.
+
+import (
+	"strings"
+	"testing"
+
+	"mscclpp/internal/doccheck"
+)
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	missing, err := doccheck.Undocumented(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("internal/scenario has undocumented exported symbols:\n  %s", strings.Join(missing, "\n  "))
+	}
+}

@@ -1,0 +1,45 @@
+package scenario
+
+// Docs-vs-registry drift gate: the "Registered scenarios" table in
+// README.md must name exactly the scenarios the registry knows — the
+// serve-* artifacts went undocumented for two PRs before this test
+// existed, which is precisely the drift it now prevents.
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// readmeScenarioRow matches a table row of the "Registered scenarios"
+// section: a leading backticked scenario name in the first column.
+var readmeScenarioRow = regexp.MustCompile("(?m)^\\| `([a-z0-9-]+)` \\|")
+
+func TestReadmeMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, m := range readmeScenarioRow.FindAllStringSubmatch(string(data), -1) {
+		if documented[m[1]] {
+			t.Errorf("README.md lists scenario %q twice", m[1])
+		}
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("README.md has no scenario table rows — did the \"Registered scenarios\" section move?")
+	}
+	registered := map[string]bool{}
+	for _, s := range All() {
+		registered[s.Name] = true
+		if !documented[s.Name] {
+			t.Errorf("scenario %q is registered but missing from README.md's scenario table", s.Name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("README.md documents scenario %q which is not in the registry (renamed or retired?)", name)
+		}
+	}
+}

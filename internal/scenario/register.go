@@ -104,4 +104,9 @@ func init() {
 		Slow:  true,
 		Run:   serveAffinity,
 	})
+	Register(Scenario{
+		Name:  "serve-disagg",
+		Title: "Disaggregation: prefill/decode pools vs chunked prefill across pool ratios and prompt mixes, fabric-priced KV handoff (4 slots, Llama3-70B TP=8)",
+		Run:   serveDisagg,
+	})
 }

@@ -19,8 +19,10 @@ import (
 )
 
 // routedReplica is the shared per-replica engine configuration of the
-// routing artifacts: Llama3-70B TP=8 on one A100-80G node with MSCCL++
-// collectives, a 24-deep running batch and a 4 GiB per-GPU KV budget.
+// routing and disaggregation artifacts: Llama3-70B TP=8 on one A100-80G
+// node with MSCCL++ collectives, a 24-deep running batch and a 4 GiB
+// per-GPU KV budget. serve-disagg's equal-GPU comparison against the
+// routed chunked baseline depends on both sides using this one config.
 func routedReplica(ar func(int64) sim.Duration) serve.Config {
 	return serve.Config{
 		Env:             topology.A100_80G(1),

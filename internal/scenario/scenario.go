@@ -1,7 +1,10 @@
-// Package scenario is the registry of the paper's artifacts: every table
-// and figure the repository reproduces (Table 1, Figures 7-13, the
-// DSL-vs-Primitive comparison, the gain-breakdown ablations) is a named,
-// self-describing scenario with a deterministic writer.
+// Package scenario is the registry of the repository's artifacts: every
+// table and figure the repository reproduces (Table 1, Figures 7-13, the
+// DSL-vs-Primitive comparison, the gain-breakdown ablations) and every
+// serving-stack artifact grown on top of them (the serve-* scenarios:
+// continuous batching, multi-replica routing, prefix-cache affinity,
+// disaggregated prefill/decode) is a named, self-describing scenario with
+// a deterministic writer.
 //
 // A scenario emits two views of one run:
 //

@@ -26,6 +26,16 @@ type RequestMetrics struct {
 	// PrefixHit records whether admission found the request's shared
 	// prompt prefix already cached on the replica (see Request.PrefixGroup).
 	PrefixHit bool `json:"prefix_hit,omitempty"`
+
+	// Disaggregated-serving extras (zero, and omitted from JSON, for
+	// unified runs). DecodeAdmitted is when the decode pool let the
+	// request's completed handoff into a running batch; KVHandoffBytes is
+	// the prompt KV footprint moved prefill -> decode over the fabric (all
+	// tensor-parallel shards); HandoffNs is that transfer's duration,
+	// including occupancy waits on busy NICs/DMA engines.
+	DecodeAdmitted sim.Time     `json:"decode_admitted_ns,omitempty"`
+	KVHandoffBytes int64        `json:"kv_handoff_bytes,omitempty"`
+	HandoffNs      sim.Duration `json:"handoff_ns,omitempty"`
 }
 
 // TTFT is the time-to-first-token: arrival to first output token.

@@ -123,6 +123,21 @@ func prepare(cfg Config, wl Workload) (Config, error) {
 	return c, nil
 }
 
+// role selects which phases of a request's lifecycle a Scheduler runs.
+// The zero value (roleUnified) is the chunked-prefill engine every replica
+// ran before disaggregation existed: prefill and decode interleave on the
+// same simulated GPUs. rolePrefill and roleDecode are the two halves of a
+// disaggregated deployment (disagg.go): a prefill replica finishes a
+// request at prefill completion and hands its KV cache off, a decode
+// replica admits already-prefilled requests and only decodes.
+type role int
+
+const (
+	roleUnified role = iota
+	rolePrefill
+	roleDecode
+)
+
 // reqState tracks one admitted request through prefill and decode.
 type reqState struct {
 	req         Request
@@ -132,6 +147,11 @@ type reqState struct {
 	admitAt     sim.Time // when admission succeeded
 	firstTok    sim.Time // when the first output token appeared
 	prefixHit   bool     // admission found the shared prefix cached
+
+	// Disaggregated-lifecycle extras (zero in unified runs).
+	decodeAdmit  sim.Time     // when the decode pool admitted the handoff
+	handoffBytes int64        // KV bytes moved prefill -> decode
+	handoffDur   sim.Duration // KV transfer duration on the fabric
 }
 
 // Scheduler is one continuous-batching replica running as a process on a
@@ -139,14 +159,21 @@ type reqState struct {
 // each owns its simulated cluster (Config.Env), KV budget and Metrics.
 type Scheduler struct {
 	cfg      Config // defaults applied
+	role     role
 	kvPerTok int64
 	eng      *sim.Engine
 	arrived  *sim.Cond
+
+	// onPrefilled fires (in engine context, at the iteration end time) when
+	// a rolePrefill replica finishes a request's prompt processing — the
+	// disaggregation driver prices the KV handoff there. Nil elsewhere.
+	onPrefilled func(pr Prefilled, end sim.Time)
 
 	waiting    []*reqState // FIFO arrival order
 	active     []*reqState // admission order; resident in the engine
 	kvUsed     int64
 	inflight   int64 // tokens submitted but not yet processed (JSQ load signal)
+	pending    int64 // tokens committed but still on the wire (in-flight KV handoffs)
 	closed     bool
 	prefixSeen map[uint64]bool
 
@@ -160,6 +187,12 @@ type Scheduler struct {
 // process under the given name. The process runs until Close has been
 // called and every submitted request has completed.
 func NewScheduler(eng *sim.Engine, name string, cfg Config) (*Scheduler, error) {
+	return newScheduler(eng, name, cfg, roleUnified)
+}
+
+// newScheduler is NewScheduler with an explicit lifecycle role; the
+// disaggregation driver (disagg.go) uses it to build the two pools.
+func newScheduler(eng *sim.Engine, name string, cfg Config, ro role) (*Scheduler, error) {
 	c := cfg.withDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -169,6 +202,7 @@ func NewScheduler(eng *sim.Engine, name string, cfg Config) (*Scheduler, error) 
 	}
 	s := &Scheduler{
 		cfg:        c,
+		role:       ro,
 		kvPerTok:   c.Model.KVBytesPerTokenPerGPU,
 		eng:        eng,
 		arrived:    sim.NewCond(eng),
@@ -195,9 +229,102 @@ func (s *Scheduler) Submit(req Request) {
 		s.firstArr = req.Arrival
 	}
 	s.hasReq = true
-	s.inflight += int64(req.PromptLen + req.OutputLen)
+	if s.role == rolePrefill {
+		// A prefill replica's outstanding work is prompt processing only;
+		// output tokens are the decode pool's load.
+		s.inflight += int64(req.PromptLen)
+	} else {
+		s.inflight += int64(req.PromptLen + req.OutputLen)
+	}
 	s.waiting = append(s.waiting, &reqState{req: req})
 	s.arrived.Broadcast()
+}
+
+// Prefilled is a request whose prompt processing finished on a prefill
+// replica, together with the lifecycle timestamps and KV-handoff accounting
+// accrued so far. It is what a disaggregated deployment moves from the
+// prefill pool to the decode pool once the KV-cache transfer completes.
+type Prefilled struct {
+	// Req is the original request; its prompt KV is resident on the decode
+	// replica when SubmitPrefilled runs (the handoff has completed).
+	Req Request
+	// Admitted is when the prefill pool admitted the request.
+	Admitted sim.Time
+	// FirstToken is when prefill completed and emitted the first output
+	// token (on the prefill replica).
+	FirstToken sim.Time
+	// PrefixHit records a prefill-side KV prefix-cache hit.
+	PrefixHit bool
+	// HandoffBytes is the total KV-cache footprint moved over the fabric
+	// (all tensor-parallel shards).
+	HandoffBytes int64
+	// HandoffDur is how long the fabric transfer took, including occupancy
+	// waits on busy DMA engines / NICs.
+	HandoffDur sim.Duration
+}
+
+// SubmitPrefilled enqueues a finished prefill on a roleDecode replica at
+// the current virtual time — the moment its KV handoff completed. Like
+// Submit it must be called from engine context and before Close; the
+// request joins the admission FIFO with its prompt already processed and
+// its first token already emitted, so the replica only decodes.
+func (s *Scheduler) SubmitPrefilled(pr Prefilled) {
+	if s.role != roleDecode {
+		panic(fmt.Sprintf("serve: SubmitPrefilled(request %d) on a non-decode replica", pr.Req.ID))
+	}
+	if s.closed {
+		panic(fmt.Sprintf("serve: SubmitPrefilled(request %d) after Close", pr.Req.ID))
+	}
+	if err := s.cfg.checkRequest(pr.Req); err != nil {
+		panic(err.Error())
+	}
+	if !s.hasReq || pr.Req.Arrival < s.firstArr {
+		s.firstArr = pr.Req.Arrival
+	}
+	s.hasReq = true
+	// Remaining work is decode only: tokens 2..OutputLen.
+	s.inflight += int64(pr.Req.OutputLen - 1)
+	s.waiting = append(s.waiting, &reqState{
+		req:          pr.Req,
+		prefillDone:  pr.Req.PromptLen,
+		generated:    1,
+		admitAt:      pr.Admitted,
+		firstTok:     pr.FirstToken,
+		prefixHit:    pr.PrefixHit,
+		handoffBytes: pr.HandoffBytes,
+		handoffDur:   pr.HandoffDur,
+	})
+	s.arrived.Broadcast()
+}
+
+// kvNeed is the KV-cache reservation admission takes for a request: the
+// full prompt+output footprint, except on a prefill replica, which only
+// ever materializes prompt KV (outputs are generated on the decode pool).
+func (s *Scheduler) kvNeed(r Request) int64 {
+	if s.role == rolePrefill {
+		return int64(r.PromptLen) * s.kvPerTok
+	}
+	return int64(r.PromptLen+r.OutputLen) * s.kvPerTok
+}
+
+// releaseKV returns bytes to the KV budget from engine context. The
+// disaggregation driver calls it on a prefill replica when a handoff
+// completes — the prompt KV must stay resident during the fabric transfer —
+// so admission re-checks the freed budget.
+func (s *Scheduler) releaseKV(bytes int64) {
+	s.kvUsed -= bytes
+	s.arrived.Broadcast()
+}
+
+// headAdmissible reports whether the admission FIFO's head could join the
+// running batch right now. Used as the idle-parking predicate: a drained
+// prefill replica whose KV is still pinned by in-flight handoffs parks
+// here instead of burning empty iterations until releaseKV frees budget.
+func (s *Scheduler) headAdmissible() bool {
+	if len(s.waiting) == 0 || len(s.active) >= s.cfg.MaxBatch {
+		return false
+	}
+	return s.kvUsed+s.kvNeed(s.waiting[0].req) <= s.cfg.KVCapacityBytes
 }
 
 // Close marks the end of the arrival stream: once the queue and the
@@ -210,10 +337,22 @@ func (s *Scheduler) Close() {
 }
 
 // InFlightTokens is the replica's outstanding work: prompt + output tokens
-// of every submitted request, minus tokens already processed. This is the
-// join-shortest-queue load signal — token-weighted, so one 8K-prompt
-// request counts for more than ten chat turns.
-func (s *Scheduler) InFlightTokens() int64 { return s.inflight }
+// of every submitted request, minus tokens already processed, plus work
+// already committed to this replica whose KV handoff is still on the wire
+// (reservePending). This is the join-shortest-queue load signal —
+// token-weighted, so one 8K-prompt request counts for more than ten chat
+// turns, and handoff-aware, so a burst of prefill completions does not
+// pile onto one decode replica just because its transfers have not landed
+// yet.
+func (s *Scheduler) InFlightTokens() int64 { return s.inflight + s.pending }
+
+// reservePending adjusts the replica's committed-but-not-yet-delivered
+// load by delta tokens. The disaggregation driver adds a request's decode
+// work at placement time — the instant DecodePolicy picks this replica —
+// and subtracts it again when the KV handoff completes and SubmitPrefilled
+// moves the same tokens into the live in-flight count, so InFlightTokens
+// never double-counts and never goes blind during a transfer.
+func (s *Scheduler) reservePending(delta int64) { s.pending += delta }
 
 // QueuedRequests is the number of requests waiting for admission.
 func (s *Scheduler) QueuedRequests() int { return len(s.waiting) }
@@ -234,7 +373,15 @@ func (s *Scheduler) Result() *Result { return s.res }
 func (s *Scheduler) loop(p *sim.Proc) {
 	for {
 		if len(s.active) == 0 {
-			p.Wait(s.arrived, "waiting for arrivals", func() bool { return len(s.waiting) > 0 || s.closed })
+			// Park until the FIFO head can actually be admitted (or the
+			// stream is closed and drained). For unified replicas an empty
+			// batch implies an empty KV budget, so this is exactly the old
+			// "anything waiting" predicate; on a prefill replica the budget
+			// may still be pinned by in-flight handoffs, and waking before
+			// releaseKV would only burn empty iterations.
+			p.Wait(s.arrived, "waiting for arrivals", func() bool {
+				return s.headAdmissible() || (s.closed && len(s.waiting) == 0)
+			})
 			if len(s.waiting) == 0 {
 				// Pred held with nothing queued: closed and fully drained.
 				break
@@ -256,22 +403,29 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	// requests around a stuck head would starve long prompts.
 	for len(s.waiting) > 0 && len(s.active) < c.MaxBatch {
 		head := s.waiting[0]
-		need := int64(head.req.PromptLen+head.req.OutputLen) * s.kvPerTok
+		need := s.kvNeed(head.req)
 		if s.kvUsed+need > c.KVCapacityBytes {
 			break
 		}
 		s.waiting = s.waiting[1:]
 		head.kvReserved = need
 		s.kvUsed += need
-		head.admitAt = p.Now()
+		if s.role == roleDecode {
+			// The request was admitted (and prefilled) on the prefill pool;
+			// record when the decode pool let its handoff into the batch.
+			head.decodeAdmit = p.Now()
+		} else {
+			head.admitAt = p.Now()
+		}
 		// KV prefix reuse: a replica that has already prefilled this
 		// request's shared prefix (prefixSeen is set at prefill completion,
 		// so the discount is only granted for KV that actually exists)
 		// skips those prompt tokens, but at least one token always goes
 		// through prefill so the first-token event stays well-defined. The
 		// KV reservation stays at the full footprint — conservative, like
-		// the rest of the admission policy.
-		if g := head.req.PrefixGroup; g != 0 && head.req.PrefixLen > 0 && s.prefixSeen[g] {
+		// the rest of the admission policy. Decode replicas never prefill,
+		// so the discount (which rewinds prefillDone) must not apply there.
+		if g := head.req.PrefixGroup; s.role != roleDecode && g != 0 && head.req.PrefixLen > 0 && s.prefixSeen[g] {
 			d := head.req.PrefixLen
 			if d > head.req.PromptLen-1 {
 				d = head.req.PromptLen - 1
@@ -335,7 +489,10 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 			// the same group admitted earlier (e.g. within one burst) paid
 			// full prefill, as they would have on real hardware.
 			ps.rs.generated = 1
-			s.inflight--
+			if s.role != rolePrefill {
+				// Prefill replicas never counted output tokens as load.
+				s.inflight--
+			}
 			ps.rs.firstTok = end
 			if g := ps.rs.req.PrefixGroup; g != 0 {
 				s.prefixSeen[g] = true
@@ -348,20 +505,42 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	}
 	keep := s.active[:0]
 	for _, rs := range s.active {
-		if rs.generated >= rs.req.OutputLen && rs.prefillDone == rs.req.PromptLen {
+		switch {
+		case s.role == rolePrefill && rs.prefillDone == rs.req.PromptLen && rs.req.OutputLen > 1:
+			// Prefill done: the request leaves this replica, but its prompt
+			// KV stays reserved until the fabric handoff completes (the
+			// driver calls releaseKV at the transfer's end time). The
+			// per-request record is written by the decode replica that
+			// finishes the request.
+			s.lastDone = end
+			if s.onPrefilled != nil {
+				s.onPrefilled(Prefilled{
+					Req:        rs.req,
+					Admitted:   rs.admitAt,
+					FirstToken: rs.firstTok,
+					PrefixHit:  rs.prefixHit,
+				}, end)
+			}
+		case rs.generated >= rs.req.OutputLen && rs.prefillDone == rs.req.PromptLen:
+			// Complete. On a prefill replica this is the one-token case:
+			// the single output token came from prefill, no decode phase
+			// exists, so the request never visits the decode pool.
 			s.kvUsed -= rs.kvReserved
 			s.lastDone = end
 			s.res.PerRequest = append(s.res.PerRequest, RequestMetrics{
-				ID:         rs.req.ID,
-				PromptLen:  rs.req.PromptLen,
-				OutputLen:  rs.req.OutputLen,
-				Arrival:    rs.req.Arrival,
-				Admitted:   rs.admitAt,
-				FirstToken: rs.firstTok,
-				Done:       end,
-				PrefixHit:  rs.prefixHit,
+				ID:             rs.req.ID,
+				PromptLen:      rs.req.PromptLen,
+				OutputLen:      rs.req.OutputLen,
+				Arrival:        rs.req.Arrival,
+				Admitted:       rs.admitAt,
+				FirstToken:     rs.firstTok,
+				Done:           end,
+				PrefixHit:      rs.prefixHit,
+				DecodeAdmitted: rs.decodeAdmit,
+				KVHandoffBytes: rs.handoffBytes,
+				HandoffNs:      rs.handoffDur,
 			})
-		} else {
+		default:
 			keep = append(keep, rs)
 		}
 	}
