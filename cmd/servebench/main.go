@@ -26,6 +26,15 @@
 // hands its KV cache to a decode replica over the simulated fabric:
 //
 //	servebench -disagg -replicas 4 -prefill-replicas 2 -requests 400 -rate 20
+//
+// Overload robustness knobs (also ad-hoc mode): -kv-bytes shrinks the
+// per-replica KV capacity, -preempt recompute|swap|auto switches the
+// replicas to block-granular paged KV with the chosen eviction policy,
+// and -priority-split 0.3 marks 30% of requests interactive (priority 0)
+// with the rest batch. Runs that preempt, swap or reject print those
+// counters after the merged summary:
+//
+//	servebench -replicas 2 -requests 400 -rate 40 -kv-bytes 1073741824 -preempt auto -priority-split 0.3
 package main
 
 import (
@@ -62,6 +71,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "ad-hoc mode: workload seed")
 	disagg := flag.Bool("disagg", false, "ad-hoc mode: run a disaggregated prefill/decode deployment instead of a routed one")
 	prefillReplicas := flag.Int("prefill-replicas", 1, "ad-hoc -disagg mode: how many of -replicas run prefill (the rest decode)")
+	kvBytes := flag.Int64("kv-bytes", 0, "ad-hoc mode: per-replica KV capacity in bytes (0 = the 4 GiB default); shrink it to provoke queueing and preemption")
+	prioritySplit := flag.Float64("priority-split", -1, "ad-hoc mode: fraction of requests in the interactive tier (priority 0), the rest batch (priority 1); negative = single tier")
+	preempt := flag.String("preempt", "", "ad-hoc mode: run block-granular paged KV with this preemption policy (recompute|swap|auto); empty = whole-footprint reservation")
 	flag.Parse()
 
 	adhocFlagsSet, prefillSet := false, false
@@ -70,7 +82,8 @@ func main() {
 		case "prefill-replicas":
 			prefillSet = true
 			adhocFlagsSet = true
-		case "replicas", "policy", "requests", "rate", "seed", "disagg":
+		case "replicas", "policy", "requests", "rate", "seed", "disagg",
+			"kv-bytes", "priority-split", "preempt":
 			adhocFlagsSet = true
 		}
 	})
@@ -84,19 +97,47 @@ func main() {
 		if *requests < 1 || *rate <= 0 || *replicas < 1 {
 			log.Fatalf("ad-hoc mode needs -requests >= 1, -rate > 0 and -replicas >= 1 (got %d, %g, %d)", *requests, *rate, *replicas)
 		}
+		cfg := adhocReplica()
+		if *kvBytes != 0 {
+			if *kvBytes < 0 {
+				log.Fatalf("-kv-bytes must be positive (got %d)", *kvBytes)
+			}
+			cfg.KVCapacityBytes = *kvBytes
+		}
+		if *preempt != "" {
+			cfg.KVPolicy = serve.KVPaged
+			switch *preempt {
+			case "recompute":
+				cfg.Preempt = serve.PreemptRecompute
+			case "swap":
+				cfg.Preempt = serve.PreemptSwap
+			case "auto":
+				cfg.Preempt = serve.PreemptAuto
+			default:
+				log.Fatalf("-preempt must be recompute, swap or auto (got %q)", *preempt)
+			}
+		}
+		wl := adhocWorkload(*requests, *rate, *seed)
+		tiered := *prioritySplit >= 0
+		if tiered {
+			if *prioritySplit > 1 {
+				log.Fatalf("-priority-split must be in [0, 1] (got %g)", *prioritySplit)
+			}
+			wl = serve.WithPriorities(wl, *seed, *prioritySplit)
+		}
 		var err error
 		if *disagg {
 			if *prefillReplicas < 1 || *prefillReplicas >= *replicas {
 				log.Fatalf("-disagg needs 1 <= -prefill-replicas < -replicas (got %d of %d)", *prefillReplicas, *replicas)
 			}
-			err = runAdhocDisagg(*prefillReplicas, *replicas-*prefillReplicas, *policy, *requests, *rate, *seed)
+			err = runAdhocDisagg(cfg, *prefillReplicas, *replicas-*prefillReplicas, *policy, wl, *rate, tiered)
 		} else {
 			if prefillSet {
 				// Same fail-fast rule as the registry/ad-hoc split: refuse
 				// the flag rather than silently ignoring it.
 				log.Fatal("-prefill-replicas only applies with -disagg")
 			}
-			err = runAdhoc(*replicas, *policy, *requests, *rate, *seed)
+			err = runAdhoc(cfg, *replicas, *policy, wl, *rate, tiered)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -148,9 +189,32 @@ func adhocWorkload(requests int, rate float64, seed uint64) serve.Workload {
 		serve.LogNormalLen(512, 0.6, 2048), serve.LogNormalLen(64, 0.5, 192))
 }
 
+// printOverload reports the robustness counters of a merged result —
+// preemptions split by mechanism, bytes swapped, structured rejections —
+// whenever the run exercised any of them, and the per-tier breakdown when
+// the workload carries priority classes.
+func printOverload(res *serve.Result, tiered bool) {
+	if res.Preemptions > 0 || res.Rejected > 0 {
+		fmt.Printf("  overload: %d preemptions (%d recompute / %d swap, %.2f GB swapped), %d rejected\n",
+			res.Preemptions, res.Recomputes, res.Swaps, float64(res.SwapBytes)/1e9, res.Rejected)
+	}
+	if !tiered {
+		return
+	}
+	s := res.SummarizeTiered(adhocSLO, nil)
+	for _, ts := range s.ByTier {
+		name := "batch"
+		if ts.Priority == 0 {
+			name = "interactive"
+		}
+		fmt.Printf("  tier %d (%s): %4d requests, %d rejected, ttft p99 %8.1f ms, goodput %6.0f tok/s, SLO %.1f%%\n",
+			ts.Priority, name, ts.Requests, ts.Rejected, ts.TTFTp99ms, ts.GoodputTokS, 100*ts.SLOAttainment)
+	}
+}
+
 // runAdhoc replays one seeded Poisson workload through a routed
 // multi-replica cluster and prints the merged and per-replica summaries.
-func runAdhoc(replicas int, policy string, requests int, rate float64, seed uint64) error {
+func runAdhoc(cfg serve.Config, replicas int, policy string, wl serve.Workload, rate float64, tiered bool) error {
 	pol, err := serve.PolicyByName(policy)
 	if err != nil {
 		return err
@@ -158,17 +222,18 @@ func runAdhoc(replicas int, policy string, requests int, rate float64, seed uint
 	res, err := serve.RunRouted(serve.RouterConfig{
 		Replicas: replicas,
 		Policy:   pol,
-		Replica:  adhocReplica(),
-	}, adhocWorkload(requests, rate, seed))
+		Replica:  cfg,
+	}, wl)
 	if err != nil {
 		return err
 	}
 	slo := adhocSLO
 	s := res.Summarize(slo)
 	fmt.Printf("Routed serving: %d requests at %.3g req/s over %d replicas, policy %s (Llama3-70b TP=8, A100-80G, MSCCL++)\n",
-		requests, rate, replicas, res.Policy)
+		len(wl.Requests), rate, replicas, res.Policy)
 	fmt.Printf("  merged: ttft p50 %.1f ms p99 %.1f ms | tpot p99 %.1f ms | goodput %.0f tok/s | SLO %.1f%%\n",
 		s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment)
+	printOverload(res.Merged, tiered)
 	for i, pr := range res.PerReplica {
 		ps := pr.Summarize(slo)
 		fmt.Printf("  replica %d: %4d requests, ttft p99 %8.1f ms, %d iterations\n",
@@ -181,7 +246,7 @@ func runAdhoc(replicas int, policy string, requests int, rate float64, seed uint
 // disaggregated prefill/decode deployment (both pools routed by the named
 // policy) and prints the merged summary plus the KV-handoff accounting
 // and per-pool breakdown.
-func runAdhocDisagg(prefill, decode int, policy string, requests int, rate float64, seed uint64) error {
+func runAdhocDisagg(cfg serve.Config, prefill, decode int, policy string, wl serve.Workload, rate float64, tiered bool) error {
 	// Policies are stateful; each pool needs its own fresh instance.
 	ppol, err := serve.PolicyByName(policy)
 	if err != nil {
@@ -194,19 +259,20 @@ func runAdhocDisagg(prefill, decode int, policy string, requests int, rate float
 	res, err := serve.RunDisaggregated(serve.DisaggConfig{
 		PrefillReplicas: prefill,
 		DecodeReplicas:  decode,
-		Replica:         adhocReplica(),
+		Replica:         cfg,
 		PrefillPolicy:   ppol,
 		DecodePolicy:    dpol,
-	}, adhocWorkload(requests, rate, seed))
+	}, wl)
 	if err != nil {
 		return err
 	}
 	slo := adhocSLO
 	s := res.Summarize(slo)
 	fmt.Printf("Disaggregated serving: %d requests at %.3g req/s over %dp+%dd replicas, pool policy %s (Llama3-70b TP=8, A100-80G, MSCCL++)\n",
-		requests, rate, prefill, decode, res.PrefillPolicy)
+		len(wl.Requests), rate, prefill, decode, res.PrefillPolicy)
 	fmt.Printf("  merged: ttft p50 %.1f ms p99 %.1f ms | tpot p99 %.1f ms | goodput %.0f tok/s | SLO %.1f%%\n",
 		s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment)
+	printOverload(res.Merged, tiered)
 	fmt.Printf("  KV handoff: %d transfers, %.1f GB moved, mean %.2f ms, max %.2f ms\n",
 		res.Handoffs, float64(res.HandoffBytes)/1e9, float64(res.HandoffMeanNs)/1e6, float64(res.HandoffMaxNs)/1e6)
 	for i, pr := range res.PerPrefill {

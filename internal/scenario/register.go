@@ -109,4 +109,9 @@ func init() {
 		Title: "Disaggregation: prefill/decode pools vs chunked prefill across pool ratios and prompt mixes, fabric-priced KV handoff (4 slots, Llama3-70B TP=8)",
 		Run:   serveDisagg,
 	})
+	Register(Scenario{
+		Name:  "serve-overload",
+		Title: "Overload: paged KV + recompute/swap preemption vs whole-request reservation at 2x load, two priority tiers (Llama3-70B TP=8)",
+		Run:   serveOverload,
+	})
 }

@@ -157,7 +157,7 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 		return nil, fmt.Errorf("serve: DisaggConfig pools %d prefill / %d decode (both must be >= 1)",
 			dc.PrefillReplicas, dc.DecodeReplicas)
 	}
-	c, err := prepare(dc.Replica, wl)
+	c, admitted, rejected, err := prepare(dc.Replica, wl)
 	if err != nil {
 		return nil, err
 	}
@@ -189,7 +189,7 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 	// has been delivered (one-token requests complete on the prefill side
 	// and never hand off).
 	expect := 0
-	for _, r := range wl.Requests {
+	for _, r := range admitted.Requests {
 		if r.OutputLen > 1 {
 			expect++
 		}
@@ -220,8 +220,8 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 			return nil, err
 		}
 		s.res.Workload = wl.Name
-		src, group := s, i
-		s.onPrefilled = func(pr Prefilled, end sim.Time) {
+		group := i
+		s.onPrefilled = func(pr Prefilled, end sim.Time, release func()) {
 			j := dpol.Pick(pr.Req, dec)
 			if j < 0 || j >= len(dec) {
 				panic(fmt.Sprintf("serve: decode policy %s picked replica %d of %d", dpol.Name(), j, len(dec)))
@@ -243,11 +243,12 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 			pendTok := int64(pr.Req.OutputLen - 1)
 			dec[j].reservePending(pendTok)
 			// The prompt KV stays pinned on the prefill replica until the
-			// transfer ends; only then may the decode pool admit.
-			reserved := src.kvNeed(pr.Req)
+			// transfer ends; only then may the decode pool admit. The
+			// release callback frees whatever the prefill scheduler holds
+			// for the request — reserved bytes or paged blocks.
 			dst, done := dec[j], pr
 			eng.At(hEnd, func() {
-				src.releaseKV(reserved)
+				release()
 				dst.reservePending(-pendTok)
 				dst.SubmitPrefilled(done)
 				delivered++
@@ -260,7 +261,7 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 	}
 
 	var last sim.Time
-	for _, r := range wl.Requests {
+	for _, r := range admitted.Requests {
 		req := r
 		eng.At(req.Arrival, func() {
 			i := ppol.Pick(req, pre)
@@ -294,6 +295,7 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 		out.PerDecode[j] = s.Result()
 	}
 	all := append(append([]*Result{}, out.PerPrefill...), out.PerDecode...)
+	all = append(all, &Result{PerRequest: rejected, Rejected: len(rejected)})
 	out.Merged = MergeResults(all...)
 	if out.Handoffs > 0 {
 		out.HandoffMeanNs /= sim.Duration(out.Handoffs)

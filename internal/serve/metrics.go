@@ -3,7 +3,9 @@ package serve
 // Per-request serving metrics and their aggregation: TTFT / TPOT / E2E
 // latency distributions (percentiles via benchkit) and goodput under SLOs.
 // All raw values are exact virtual-time integers; summaries derive from
-// them deterministically.
+// them deterministically. Fields added for paged KV (preemption, swap and
+// rejection accounting, priority tiers) are omitempty-zero on legacy
+// configurations so pre-paging goldens stay byte-identical.
 
 import (
 	"sort"
@@ -12,11 +14,16 @@ import (
 	"mscclpp/internal/sim"
 )
 
-// RequestMetrics is the lifecycle record of one completed request.
+// RequestMetrics is the lifecycle record of one completed (or rejected)
+// request.
 type RequestMetrics struct {
 	ID        int `json:"id"`
 	PromptLen int `json:"prompt_len"`
 	OutputLen int `json:"output_len"`
+
+	// Priority is the request's admission tier (0 = interactive, highest;
+	// larger values are lower classes — see Request.Priority).
+	Priority int `json:"priority,omitempty"`
 
 	Arrival    sim.Time `json:"arrival_ns"`
 	Admitted   sim.Time `json:"admitted_ns"`    // joined the running batch
@@ -26,6 +33,20 @@ type RequestMetrics struct {
 	// PrefixHit records whether admission found the request's shared
 	// prompt prefix already cached on the replica (see Request.PrefixGroup).
 	PrefixHit bool `json:"prefix_hit,omitempty"`
+
+	// Preemptions counts how many times a paged replica evicted this
+	// request mid-run; SwapBytes sums the KV bytes its swap-out and
+	// swap-in transfers moved over the copy engines (all TP lanes, both
+	// directions). Zero under KVReserve.
+	Preemptions int   `json:"preemptions,omitempty"`
+	SwapBytes   int64 `json:"swap_bytes,omitempty"`
+
+	// Rejected marks a request the configuration could never admit: it was
+	// refused up front with RejectedReason instead of aborting the run, and
+	// its Admitted/FirstToken/Done are zero. Rejected rows count against
+	// SLO attainment but contribute no latency samples.
+	Rejected       bool   `json:"rejected,omitempty"`
+	RejectedReason string `json:"rejected_reason,omitempty"`
 
 	// Disaggregated-serving extras (zero, and omitted from JSON, for
 	// unified runs). DecodeAdmitted is when the decode pool let the
@@ -56,23 +77,53 @@ func (m RequestMetrics) TPOT() sim.Duration {
 	return (m.Done - m.FirstToken) / sim.Duration(m.OutputLen-1)
 }
 
+// PreemptEvent records one paged-KV eviction and the closed-form costs the
+// recompute-or-swap crossover compared at that instant — the audit trail
+// the serve-overload scenario checks the policy against.
+type PreemptEvent struct {
+	TimeNs    sim.Time `json:"time_ns"`
+	RequestID int      `json:"request_id"`
+	// Mode is "recompute" or "swap" — the choice actually taken.
+	Mode string `json:"mode"`
+	// ResidentTokens is the victim's KV-resident context size at eviction.
+	ResidentTokens int `json:"resident_tokens"`
+	// RecomputeCostNs is the closed-form cost of re-prefilling the resident
+	// context (batch of 1, uncontended); SwapCostNs is the closed-form cost
+	// of one swap-out plus one swap-in over uncontended copy engines.
+	RecomputeCostNs sim.Duration `json:"recompute_cost_ns"`
+	SwapCostNs      sim.Duration `json:"swap_cost_ns"`
+}
+
 // Result is the outcome of one serving simulation.
 type Result struct {
 	Workload   string           `json:"workload"`
 	PerRequest []RequestMetrics `json:"per_request"`
 	Makespan   sim.Duration     `json:"makespan_ns"` // first arrival to last completion
 	Iterations int              `json:"iterations"`  // engine iterations executed
+
+	// Paged-KV accounting (all zero, and omitted from JSON, under
+	// KVReserve): Preemptions = Recomputes + Swaps counts evictions,
+	// SwapBytes sums swap traffic over the copy engines, Rejected counts
+	// requests refused up front, and Preempts is the per-eviction audit
+	// trail in event order.
+	Preemptions int            `json:"preemptions,omitempty"`
+	Recomputes  int            `json:"recomputes,omitempty"`
+	Swaps       int            `json:"swaps,omitempty"`
+	SwapBytes   int64          `json:"swap_bytes,omitempty"`
+	Rejected    int            `json:"rejected,omitempty"`
+	Preempts    []PreemptEvent `json:"preempt_events,omitempty"`
 }
 
 // MergeResults pools per-replica results into one cluster-level Result:
 // per-request records are concatenated and ordered by request ID (stable,
-// so duplicate IDs keep their argument order), iteration counts add, and
-// the merged makespan spans the earliest pooled arrival to the latest
-// pooled completion. Merging is associative — merging merges equals
-// merging the parts — and Summarize over a merge equals Summarize over
-// the pooled samples, which is the invariant the router's cross-replica
-// aggregation depends on. Nil parts are skipped; the merged workload name
-// is the first non-empty one.
+// so duplicate IDs keep their argument order), iteration and preemption
+// counts add, preemption events merge in (time, request) order, and the
+// merged makespan spans the earliest pooled arrival to the latest pooled
+// completion (rejected rows, which never complete, don't stretch it).
+// Merging is associative — merging merges equals merging the parts — and
+// Summarize over a merge equals Summarize over the pooled samples, which
+// is the invariant the router's cross-replica aggregation depends on. Nil
+// parts are skipped; the merged workload name is the first non-empty one.
 func MergeResults(parts ...*Result) *Result {
 	out := &Result{}
 	for _, p := range parts {
@@ -83,21 +134,39 @@ func MergeResults(parts ...*Result) *Result {
 			out.Workload = p.Workload
 		}
 		out.Iterations += p.Iterations
+		out.Preemptions += p.Preemptions
+		out.Recomputes += p.Recomputes
+		out.Swaps += p.Swaps
+		out.SwapBytes += p.SwapBytes
+		out.Rejected += p.Rejected
+		out.Preempts = append(out.Preempts, p.Preempts...)
 		out.PerRequest = append(out.PerRequest, p.PerRequest...)
 	}
 	sort.SliceStable(out.PerRequest, func(i, j int) bool {
 		return out.PerRequest[i].ID < out.PerRequest[j].ID
 	})
-	if len(out.PerRequest) > 0 {
-		minArr, maxDone := out.PerRequest[0].Arrival, out.PerRequest[0].Done
-		for _, m := range out.PerRequest[1:] {
-			if m.Arrival < minArr {
-				minArr = m.Arrival
-			}
-			if m.Done > maxDone {
-				maxDone = m.Done
-			}
+	sort.SliceStable(out.Preempts, func(i, j int) bool {
+		if out.Preempts[i].TimeNs != out.Preempts[j].TimeNs {
+			return out.Preempts[i].TimeNs < out.Preempts[j].TimeNs
 		}
+		return out.Preempts[i].RequestID < out.Preempts[j].RequestID
+	})
+	first := true
+	var minArr sim.Time
+	var maxDone sim.Time
+	for _, m := range out.PerRequest {
+		if m.Rejected {
+			continue
+		}
+		if first || m.Arrival < minArr {
+			minArr = m.Arrival
+		}
+		if first || m.Done > maxDone {
+			maxDone = m.Done
+		}
+		first = false
+	}
+	if !first {
 		out.Makespan = maxDone - minArr
 	}
 	return out
@@ -111,8 +180,12 @@ type SLO struct {
 	MaxTPOT sim.Duration
 }
 
-// Met reports whether one request satisfied the SLO.
+// Met reports whether one request satisfied the SLO. Rejected requests
+// never do.
 func (s SLO) Met(m RequestMetrics) bool {
+	if m.Rejected {
+		return false
+	}
 	if s.MaxTTFT > 0 && m.TTFT() > s.MaxTTFT {
 		return false
 	}
@@ -120,6 +193,21 @@ func (s SLO) Met(m RequestMetrics) bool {
 		return false
 	}
 	return true
+}
+
+// TierSummary aggregates one priority class of a tiered summary.
+type TierSummary struct {
+	Priority int `json:"priority"`
+	Requests int `json:"requests"`
+	Rejected int `json:"rejected,omitempty"`
+	// SLOAttainment is the fraction of the tier's requests meeting the
+	// tier's SLO (rejections count as misses).
+	SLOAttainment float64 `json:"slo_attainment"`
+	TTFTp50ms     float64 `json:"ttft_p50_ms"`
+	TTFTp99ms     float64 `json:"ttft_p99_ms"`
+	// GoodputTokS is the tier's SLO-compliant token throughput over the
+	// whole run's makespan.
+	GoodputTokS float64 `json:"goodput_tok_s"`
 }
 
 // Summary is the aggregate view of a Result: latency percentiles in
@@ -141,12 +229,41 @@ type Summary struct {
 	// SLO-compliant requests. Both are tokens/second of virtual time.
 	ThroughputTokS float64 `json:"throughput_tok_s"`
 	GoodputTokS    float64 `json:"goodput_tok_s"`
-	// SLOAttainment is the fraction of requests meeting the SLO.
+	// SLOAttainment is the fraction of requests meeting the SLO
+	// (rejections count as misses).
 	SLOAttainment float64 `json:"slo_attainment"`
+
+	// Rejected counts requests refused up front (see
+	// RequestMetrics.Rejected); zero on legacy configurations.
+	Rejected int `json:"rejected,omitempty"`
+	// ByTier is the per-priority-class breakdown, ascending priority; only
+	// populated by SummarizeTiered.
+	ByTier []TierSummary `json:"by_tier,omitempty"`
 }
 
-// Summarize aggregates a Result under an SLO.
+// Summarize aggregates a Result under a single SLO applied to every
+// request.
 func (r *Result) Summarize(slo SLO) Summary {
+	return r.summarize(func(int) SLO { return slo }, false)
+}
+
+// SummarizeTiered aggregates a Result under per-tier SLOs: requests of
+// priority p are held to tiers[p] when present and fallback otherwise,
+// both for overall goodput/attainment and for the per-tier breakdown in
+// Summary.ByTier. This is how an overload scenario holds its interactive
+// tier to a tight TTFT bound while batch traffic is judged against a
+// looser one.
+func (r *Result) SummarizeTiered(fallback SLO, tiers map[int]SLO) Summary {
+	sloFor := func(p int) SLO {
+		if s, ok := tiers[p]; ok {
+			return s
+		}
+		return fallback
+	}
+	return r.summarize(sloFor, true)
+}
+
+func (r *Result) summarize(sloFor func(priority int) SLO, byTier bool) Summary {
 	n := len(r.PerRequest)
 	s := Summary{
 		Requests:   n,
@@ -162,31 +279,85 @@ func (r *Result) Summarize(slo SLO) Summary {
 	var tokens, goodTokens int64
 	met := 0
 	for _, m := range r.PerRequest {
+		if m.Rejected {
+			s.Rejected++
+			continue
+		}
 		ttft = append(ttft, float64(m.TTFT())/1e6)
 		e2e = append(e2e, float64(m.E2E())/1e6)
 		if m.OutputLen > 1 {
 			tpot = append(tpot, float64(m.TPOT())/1e6)
 		}
 		tokens += int64(m.OutputLen)
-		if slo.Met(m) {
+		if sloFor(m.Priority).Met(m) {
 			met++
 			goodTokens += int64(m.OutputLen)
 		}
 	}
-	// One sort per series (benchkit.Summary), then every percentile query
-	// is an O(1) lookup — same values as per-call benchkit.Percentile.
-	ttftS, tpotS, e2eS := benchkit.NewSummary(ttft), benchkit.NewSummary(tpot), benchkit.NewSummary(e2e)
-	s.TTFTp50ms = ttftS.Percentile(50)
-	s.TTFTp90ms = ttftS.Percentile(90)
-	s.TTFTp99ms = ttftS.Percentile(99)
-	s.TPOTp50ms = tpotS.Percentile(50)
-	s.TPOTp99ms = tpotS.Percentile(99)
-	s.E2Ep50ms = e2eS.Percentile(50)
-	s.E2Ep99ms = e2eS.Percentile(99)
+	if len(ttft) > 0 {
+		// One sort per series (benchkit.Summary), then every percentile query
+		// is an O(1) lookup — same values as per-call benchkit.Percentile.
+		ttftS, tpotS, e2eS := benchkit.NewSummary(ttft), benchkit.NewSummary(tpot), benchkit.NewSummary(e2e)
+		s.TTFTp50ms = ttftS.Percentile(50)
+		s.TTFTp90ms = ttftS.Percentile(90)
+		s.TTFTp99ms = ttftS.Percentile(99)
+		s.TPOTp50ms = tpotS.Percentile(50)
+		s.TPOTp99ms = tpotS.Percentile(99)
+		s.E2Ep50ms = e2eS.Percentile(50)
+		s.E2Ep99ms = e2eS.Percentile(99)
+	}
 	if r.Makespan > 0 {
 		s.ThroughputTokS = float64(tokens) / (float64(r.Makespan) / 1e9)
 		s.GoodputTokS = float64(goodTokens) / (float64(r.Makespan) / 1e9)
 	}
 	s.SLOAttainment = float64(met) / float64(n)
+	if byTier {
+		s.ByTier = r.tierBreakdown(sloFor)
+	}
 	return s
+}
+
+// tierBreakdown groups per-request rows by priority class and aggregates
+// each tier under its own SLO. Tiers are reported in ascending priority.
+func (r *Result) tierBreakdown(sloFor func(priority int) SLO) []TierSummary {
+	byPrio := map[int][]RequestMetrics{}
+	for _, m := range r.PerRequest {
+		byPrio[m.Priority] = append(byPrio[m.Priority], m)
+	}
+	prios := make([]int, 0, len(byPrio))
+	for p := range byPrio {
+		prios = append(prios, p)
+	}
+	sort.Ints(prios)
+	out := make([]TierSummary, 0, len(prios))
+	for _, p := range prios {
+		rows := byPrio[p]
+		slo := sloFor(p)
+		t := TierSummary{Priority: p, Requests: len(rows)}
+		var goodTokens int64
+		met := 0
+		ttft := make([]float64, 0, len(rows))
+		for _, m := range rows {
+			if m.Rejected {
+				t.Rejected++
+				continue
+			}
+			ttft = append(ttft, float64(m.TTFT())/1e6)
+			if slo.Met(m) {
+				met++
+				goodTokens += int64(m.OutputLen)
+			}
+		}
+		t.SLOAttainment = float64(met) / float64(len(rows))
+		if len(ttft) > 0 {
+			ts := benchkit.NewSummary(ttft)
+			t.TTFTp50ms = ts.Percentile(50)
+			t.TTFTp99ms = ts.Percentile(99)
+		}
+		if r.Makespan > 0 {
+			t.GoodputTokS = float64(goodTokens) / (float64(r.Makespan) / 1e9)
+		}
+		out = append(out, t)
+	}
+	return out
 }

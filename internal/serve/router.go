@@ -57,7 +57,8 @@ func RunRouted(rc RouterConfig, wl Workload) (*RoutedResult, error) {
 	if pol == nil {
 		pol = NewRoundRobin()
 	}
-	if _, err := prepare(rc.Replica, wl); err != nil {
+	_, admitted, rejected, err := prepare(rc.Replica, wl)
+	if err != nil {
 		return nil, err
 	}
 
@@ -73,7 +74,7 @@ func RunRouted(rc RouterConfig, wl Workload) (*RoutedResult, error) {
 	}
 
 	var last sim.Time
-	for _, r := range wl.Requests {
+	for _, r := range admitted.Requests {
 		req := r
 		eng.At(req.Arrival, func() {
 			i := pol.Pick(req, replicas)
@@ -102,7 +103,11 @@ func RunRouted(rc RouterConfig, wl Workload) (*RoutedResult, error) {
 	for i, s := range replicas {
 		out.PerReplica[i] = s.Result()
 	}
-	out.Merged = MergeResults(out.PerReplica...)
+	// Requests no replica could ever admit were filtered by prepare; merge
+	// them in as a synthetic rejected-rows part so the cluster view keeps
+	// one record per offered request.
+	parts := append(append([]*Result{}, out.PerReplica...), &Result{PerRequest: rejected, Rejected: len(rejected)})
+	out.Merged = MergeResults(parts...)
 	out.Merged.Workload = wl.Name
 	return out, nil
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 
 	"mscclpp/internal/inference"
@@ -121,9 +122,13 @@ func TestRouterValidation(t *testing.T) {
 		t.Error("invalid replica config accepted")
 	}
 	cfg := testConfig()
-	cfg.KVCapacityBytes = 1 // no request can ever fit
-	if _, err := RunRouted(RouterConfig{Replicas: 2, Replica: cfg}, wl); err == nil {
-		t.Error("impossible workload accepted")
+	cfg.KVCapacityBytes = 1 // no request can ever fit: rejected, not errored
+	rr, err := RunRouted(RouterConfig{Replicas: 2, Replica: cfg}, wl)
+	if err != nil {
+		t.Fatalf("never-fit requests must reject, not error: %v", err)
+	}
+	if rr.Merged.Rejected != 1 || len(rr.Merged.PerRequest) != 1 || !rr.Merged.PerRequest[0].Rejected {
+		t.Errorf("impossible workload not recorded as rejection: %+v", rr.Merged)
 	}
 }
 
@@ -337,7 +342,7 @@ func TestMergeResults(t *testing.T) {
 
 	slo := SLO{MaxTTFT: 500 * sim.Millisecond, MaxTPOT: 100 * sim.Millisecond}
 	merged := MergeResults(parts...)
-	if got, want := merged.Summarize(slo), full.Summarize(slo); got != want {
+	if got, want := merged.Summarize(slo), full.Summarize(slo); !reflect.DeepEqual(got, want) {
 		t.Errorf("merged summary differs from pooled:\n got %+v\nwant %+v", got, want)
 	}
 	if merged.Makespan != full.Makespan {

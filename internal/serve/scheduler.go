@@ -8,6 +8,29 @@ package serve
 // step models, so serving metrics inherit the calibrated communication
 // behavior of the underlying cluster model.
 //
+// Two KV admission disciplines coexist (Config.KVPolicy):
+//
+//   - KVReserve (default): admission reserves a request's full
+//     prompt+output footprint up front and releases it at completion. It
+//     can never need preemption, but at high load it strands capacity —
+//     bytes reserved for tokens that will not exist for seconds.
+//   - KVPaged: a block-granular allocator (kvpage.go) admits on the
+//     prompt-only footprint and grows the allocation one block at a time
+//     as decode produces tokens. When the pager runs dry mid-decode the
+//     scheduler preempts the least-important running request — lowest
+//     priority class, then latest arrival — and either recomputes
+//     (drop its KV, requeue, prefill again) or swaps (page the KV out to
+//     host and back in over the per-GPU copy engines), whichever the
+//     closed-form cost crossover picks under PreemptAuto.
+//
+// Admission order is policy-selectable (Config.Admission): FIFO by
+// arrival, shortest-prompt-first, or decode-first (resumed work before
+// fresh prefills). Priority classes (Request.Priority) are strict across
+// all orders, with optional aging (Config.AgingNs) to bound starvation.
+// With the default configuration — KVReserve, FIFO, no priorities — every
+// code path below reduces exactly to the pre-paging scheduler, so existing
+// goldens are byte-identical.
+//
 // The scheduler is an embeddable component: NewScheduler attaches one
 // replica engine to an existing sim.Engine, requests are fed in through
 // Submit (an event hook callable at any virtual time), and Close marks the
@@ -17,10 +40,58 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 
 	"mscclpp/internal/inference"
 	"mscclpp/internal/sim"
 	"mscclpp/internal/topology"
+)
+
+// KVPolicy selects the KV-cache admission discipline of a replica.
+type KVPolicy int
+
+// KV admission disciplines. KVReserve is the zero value: the conservative
+// whole-footprint reservation every scenario before paged KV used.
+const (
+	// KVReserve reserves prompt+output bytes at admission; no preemption.
+	KVReserve KVPolicy = iota
+	// KVPaged admits on prompt-only blocks and grows during decode,
+	// preempting (recompute or swap) when the block pool runs dry.
+	KVPaged
+)
+
+// PreemptPolicy selects how a paged replica evicts a running request when
+// the block pool is exhausted.
+type PreemptPolicy int
+
+// Preemption modes. PreemptAuto is the zero value.
+const (
+	// PreemptAuto compares the closed-form costs of both modes per victim
+	// and picks the cheaper one (ties go to recompute, which frees blocks
+	// immediately).
+	PreemptAuto PreemptPolicy = iota
+	// PreemptRecompute drops the victim's KV and requeues it; the resident
+	// context (prompt + generated tokens) is prefilled again on resume.
+	PreemptRecompute
+	// PreemptSwap pages the victim's KV out to host memory over the
+	// per-GPU copy engines and back in on re-admission.
+	PreemptSwap
+)
+
+// AdmissionOrder selects how a replica orders its waiting queue within a
+// priority class.
+type AdmissionOrder int
+
+// Admission orders. AdmitFIFO is the zero value.
+const (
+	// AdmitFIFO admits in arrival (submit) order.
+	AdmitFIFO AdmissionOrder = iota
+	// AdmitSJF admits shortest prompt first (ties by arrival order) —
+	// the classic mean-latency optimizer, at the cost of long-prompt tail.
+	AdmitSJF
+	// AdmitDecodeFirst admits preempted/swapped-out requests before fresh
+	// prefills (ties by arrival order), prioritizing work already paid for.
+	AdmitDecodeFirst
 )
 
 // Config parameterizes one serving engine replica.
@@ -34,10 +105,7 @@ type Config struct {
 	// MaxBatch bounds how many requests may be resident (prefilling or
 	// decoding) at once. Defaults to 32.
 	MaxBatch int
-	// KVCapacityBytes is the per-GPU KV-cache budget. Admission reserves a
-	// request's full footprint (prompt + output tokens) up front and releases
-	// it at completion — the conservative reservation discipline, which can
-	// never need preemption. Defaults to 8 GiB.
+	// KVCapacityBytes is the per-GPU KV-cache budget. Defaults to 8 GiB.
 	KVCapacityBytes int64
 	// ChunkTokens is the prefill token budget per engine iteration (chunked
 	// prefill); long prompts are spread over several iterations so decode
@@ -47,6 +115,24 @@ type Config struct {
 	// (batch formation, kernel dispatch glue). Defaults to 100 us, the
 	// order of a Python-level serving engine's iteration overhead.
 	SchedOverhead sim.Duration
+
+	// KVPolicy selects whole-footprint reservation (KVReserve, default) or
+	// block-granular paged allocation (KVPaged).
+	KVPolicy KVPolicy
+	// BlockTokens is the paged allocator's tokens-per-block granularity.
+	// Defaults to 16 (the vLLM default). Only meaningful under KVPaged.
+	BlockTokens int
+	// Preempt selects the eviction mode a paged replica uses on block
+	// exhaustion. Defaults to PreemptAuto. Decode-pool replicas of a
+	// disaggregated deployment always swap — they cannot re-run prefill.
+	Preempt PreemptPolicy
+	// Admission orders the waiting queue within a priority class.
+	// Defaults to AdmitFIFO.
+	Admission AdmissionOrder
+	// AgingNs, when positive, promotes a waiting request one priority
+	// class per AgingNs of queueing delay, bounding starvation under
+	// strict priority. Zero (default) disables aging.
+	AgingNs sim.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -62,6 +148,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.SchedOverhead == 0 {
 		out.SchedOverhead = 100 * sim.Microsecond
+	}
+	if out.BlockTokens == 0 {
+		out.BlockTokens = 16
 	}
 	return out
 }
@@ -80,12 +169,23 @@ func (c *Config) validate() error {
 		return fmt.Errorf("serve: ChunkTokens = %d", c.ChunkTokens)
 	case c.SchedOverhead < 0:
 		return fmt.Errorf("serve: SchedOverhead = %d", c.SchedOverhead)
+	case c.KVPolicy != KVReserve && c.KVPolicy != KVPaged:
+		return fmt.Errorf("serve: KVPolicy = %d", c.KVPolicy)
+	case c.BlockTokens < 1:
+		return fmt.Errorf("serve: BlockTokens = %d", c.BlockTokens)
+	case c.Preempt != PreemptAuto && c.Preempt != PreemptRecompute && c.Preempt != PreemptSwap:
+		return fmt.Errorf("serve: Preempt = %d", c.Preempt)
+	case c.Admission != AdmitFIFO && c.Admission != AdmitSJF && c.Admission != AdmitDecodeFirst:
+		return fmt.Errorf("serve: Admission = %d", c.Admission)
+	case c.AgingNs < 0:
+		return fmt.Errorf("serve: AgingNs = %d", c.AgingNs)
 	}
 	return nil
 }
 
-// checkRequest rejects a request the defaulted config could never admit:
-// it would sit at the head of the FIFO forever and deadlock the replica.
+// checkRequest rejects a malformed request: non-positive token counts or a
+// negative prefix length. These are caller bugs, not workload conditions,
+// so they stay hard errors.
 func (c *Config) checkRequest(r Request) error {
 	if r.PromptLen < 1 || r.OutputLen < 1 {
 		return fmt.Errorf("serve: request %d has prompt %d / output %d tokens", r.ID, r.PromptLen, r.OutputLen)
@@ -93,34 +193,76 @@ func (c *Config) checkRequest(r Request) error {
 	if r.PrefixLen < 0 {
 		return fmt.Errorf("serve: request %d has negative prefix length %d", r.ID, r.PrefixLen)
 	}
-	if need := int64(r.PromptLen+r.OutputLen) * c.Model.KVBytesPerTokenPerGPU; need > c.KVCapacityBytes {
-		return fmt.Errorf("serve: request %d needs %d KV bytes, capacity %d — it can never be admitted",
-			r.ID, need, c.KVCapacityBytes)
-	}
 	return nil
 }
 
-// prepare is the single driver-side validation point shared by Run and
-// RunRouted: it defaults and validates the config, then checks every
-// request against it (and the model's KV accounting) before any engine is
-// built, so impossible workloads error out deterministically instead of
-// hanging a replica. NewScheduler independently re-validates the config —
-// intentional defense-in-depth for embedders that construct schedulers
-// directly.
-func prepare(cfg Config, wl Workload) (Config, error) {
+// rejectReason reports why the defaulted config could never admit r (it
+// would sit in the admission queue forever and deadlock the replica), or
+// "" when r is admissible. Unlike malformed requests this is a workload
+// condition — an oversized request in a million-request trace — so the
+// drivers record it as a structured per-request rejection instead of
+// aborting the run.
+func (c *Config) rejectReason(r Request) string {
+	tokens := r.PromptLen + r.OutputLen
+	if c.KVPolicy == KVPaged {
+		blockBytes := int64(c.BlockTokens) * c.Model.KVBytesPerTokenPerGPU
+		total := c.KVCapacityBytes / blockBytes
+		need := int64((tokens + c.BlockTokens - 1) / c.BlockTokens)
+		if need > total {
+			return "kv-capacity"
+		}
+		return ""
+	}
+	if need := int64(tokens) * c.Model.KVBytesPerTokenPerGPU; need > c.KVCapacityBytes {
+		return "kv-capacity"
+	}
+	return ""
+}
+
+// prepare is the single driver-side validation point shared by Run,
+// RunRouted and RunDisaggregated: it defaults and validates the config,
+// hard-errors on malformed requests, and splits out requests the config
+// can never admit as structured Rejected records (with the workload they
+// are filtered from), so one hostile request degrades to a rejection row
+// instead of killing the whole trace. NewScheduler independently
+// re-validates the config — intentional defense-in-depth for embedders
+// that construct schedulers directly.
+func prepare(cfg Config, wl Workload) (Config, Workload, []RequestMetrics, error) {
 	c := cfg.withDefaults()
 	if err := c.validate(); err != nil {
-		return c, err
+		return c, wl, nil, err
 	}
 	if c.Model.KVBytesPerTokenPerGPU < 1 {
-		return c, fmt.Errorf("serve: model %s has KVBytesPerTokenPerGPU = %d", c.Model.Name, c.Model.KVBytesPerTokenPerGPU)
+		return c, wl, nil, fmt.Errorf("serve: model %s has KVBytesPerTokenPerGPU = %d", c.Model.Name, c.Model.KVBytesPerTokenPerGPU)
 	}
-	for _, r := range wl.Requests {
+	var rejected []RequestMetrics
+	admitted := wl.Requests
+	copied := false
+	for i, r := range wl.Requests {
 		if err := c.checkRequest(r); err != nil {
-			return c, err
+			return c, wl, nil, err
+		}
+		if reason := c.rejectReason(r); reason != "" {
+			if !copied {
+				admitted = append([]Request(nil), wl.Requests[:i]...)
+				copied = true
+			}
+			rejected = append(rejected, RequestMetrics{
+				ID:             r.ID,
+				PromptLen:      r.PromptLen,
+				OutputLen:      r.OutputLen,
+				Arrival:        r.Arrival,
+				Priority:       r.Priority,
+				Rejected:       true,
+				RejectedReason: reason,
+			})
+		} else if copied {
+			admitted = append(admitted, r)
 		}
 	}
-	return c, nil
+	out := wl
+	out.Requests = admitted
+	return c, out, rejected, nil
 }
 
 // role selects which phases of a request's lifecycle a Scheduler runs.
@@ -141,18 +283,39 @@ const (
 // reqState tracks one admitted request through prefill and decode.
 type reqState struct {
 	req         Request
-	prefillDone int      // prompt tokens processed so far
+	seq         int      // submit order (FIFO key; stable across requeues)
+	prefillDone int      // effective-prompt tokens processed so far
 	generated   int      // output tokens produced (1st at prefill completion)
-	kvReserved  int64    // bytes reserved against the KV budget
-	admitAt     sim.Time // when admission succeeded
+	kvReserved  int64    // bytes reserved against the KV budget (KVReserve)
+	blocks      []int32  // KV blocks held (KVPaged)
+	admitAt     sim.Time // when admission first succeeded
+	admitted    bool     // admitAt is set (resumes keep the original)
 	firstTok    sim.Time // when the first output token appeared
 	prefixHit   bool     // admission found the shared prefix cached
 
+	// Preemption state (zero unless a paged replica evicted the request).
+	replay    int   // output tokens folded into the effective prompt by recompute
+	swapped   bool  // waiting with KV paged out to host; re-admission swaps in
+	stalled   bool  // decoder held out of this iteration; its block frees in flight
+	preempts  int   // times this request was preempted
+	swapBytes int64 // KV bytes moved by swap-out + swap-in, all TP lanes
+
 	// Disaggregated-lifecycle extras (zero in unified runs).
-	decodeAdmit  sim.Time     // when the decode pool admitted the handoff
-	handoffBytes int64        // KV bytes moved prefill -> decode
-	handoffDur   sim.Duration // KV transfer duration on the fabric
+	decodeAdmit   sim.Time // when the decode pool admitted the handoff
+	decodeAdmited bool
+	handoffBytes  int64        // KV bytes moved prefill -> decode
+	handoffDur    sim.Duration // KV transfer duration on the fabric
 }
+
+// prompt is the effective prompt length: the original prompt plus any
+// generated tokens a recompute preemption folded back into prefill (the
+// resident context must be recomputed before decode can resume).
+func (rs *reqState) prompt() int { return rs.req.PromptLen + rs.replay }
+
+// kvTokens is the number of context tokens with KV resident on the
+// replica: prompt tokens prefilled so far plus output tokens appended
+// since the last (re)prefill pass.
+func (rs *reqState) kvTokens() int { return rs.prefillDone + rs.generated - rs.replay }
 
 // Scheduler is one continuous-batching replica running as a process on a
 // shared sim.Engine. Zero or more Schedulers may coexist on one engine;
@@ -164,16 +327,26 @@ type Scheduler struct {
 	eng      *sim.Engine
 	arrived  *sim.Cond
 
+	// Paged-KV machinery; nil under KVReserve.
+	pager   *KVPager
+	swapper *KVSwapper
+
 	// onPrefilled fires (in engine context, at the iteration end time) when
 	// a rolePrefill replica finishes a request's prompt processing — the
-	// disaggregation driver prices the KV handoff there. Nil elsewhere.
-	onPrefilled func(pr Prefilled, end sim.Time)
+	// disaggregation driver prices the KV handoff there and calls release
+	// when the transfer ends, freeing the prompt KV pinned on this replica.
+	// Nil elsewhere.
+	onPrefilled func(pr Prefilled, end sim.Time, release func())
 
-	waiting    []*reqState // FIFO arrival order
+	waiting    []*reqState // admission queue (submit order; pickWaiting reorders)
 	active     []*reqState // admission order; resident in the engine
 	kvUsed     int64
 	inflight   int64 // tokens submitted but not yet processed (JSQ load signal)
 	pending    int64 // tokens committed but still on the wire (in-flight KV handoffs)
+	swapIn     int   // requests whose swap-in transfer is in flight
+	swapOut    int   // requests whose swap-out transfer is in flight
+	freeSoon   int   // blocks held by in-flight swap-outs; free when they land
+	seq        int   // submit counter
 	closed     bool
 	prefixSeen map[uint64]bool
 
@@ -209,6 +382,14 @@ func newScheduler(eng *sim.Engine, name string, cfg Config, ro role) (*Scheduler
 		prefixSeen: make(map[uint64]bool),
 		res:        &Result{},
 	}
+	if c.KVPolicy == KVPaged {
+		pager, err := NewKVPager(c.KVCapacityBytes, c.BlockTokens, c.Model.KVBytesPerTokenPerGPU)
+		if err != nil {
+			return nil, err
+		}
+		s.pager = pager
+		s.swapper = NewKVSwapper(c.Env)
+	}
 	eng.Spawn(name, s.loop)
 	return s, nil
 }
@@ -216,14 +397,18 @@ func newScheduler(eng *sim.Engine, name string, cfg Config, ro role) (*Scheduler
 // Submit enqueues req at the current virtual time. It must be called from
 // engine context (an At callback or a running Proc) and before Close.
 // Requests the replica can never admit must be filtered by the caller
-// first — Run and RunRouted pre-validate every request via prepare —
-// otherwise Submit panics rather than let the replica deadlock.
+// first — Run, RunRouted and RunDisaggregated pre-validate every request
+// via prepare and record the rejections — otherwise Submit panics rather
+// than let the replica deadlock.
 func (s *Scheduler) Submit(req Request) {
 	if s.closed {
 		panic(fmt.Sprintf("serve: Submit(request %d) after Close", req.ID))
 	}
 	if err := s.cfg.checkRequest(req); err != nil {
 		panic(err.Error())
+	}
+	if reason := s.cfg.rejectReason(req); reason != "" {
+		panic(fmt.Sprintf("serve: request %d can never be admitted (%s) — the driver must filter it as a rejection", req.ID, reason))
 	}
 	if !s.hasReq || req.Arrival < s.firstArr {
 		s.firstArr = req.Arrival
@@ -236,7 +421,8 @@ func (s *Scheduler) Submit(req Request) {
 	} else {
 		s.inflight += int64(req.PromptLen + req.OutputLen)
 	}
-	s.waiting = append(s.waiting, &reqState{req: req})
+	s.waiting = append(s.waiting, &reqState{req: req, seq: s.seq})
+	s.seq++
 	s.arrived.Broadcast()
 }
 
@@ -266,7 +452,7 @@ type Prefilled struct {
 // SubmitPrefilled enqueues a finished prefill on a roleDecode replica at
 // the current virtual time — the moment its KV handoff completed. Like
 // Submit it must be called from engine context and before Close; the
-// request joins the admission FIFO with its prompt already processed and
+// request joins the admission queue with its prompt already processed and
 // its first token already emitted, so the replica only decodes.
 func (s *Scheduler) SubmitPrefilled(pr Prefilled) {
 	if s.role != roleDecode {
@@ -278,6 +464,9 @@ func (s *Scheduler) SubmitPrefilled(pr Prefilled) {
 	if err := s.cfg.checkRequest(pr.Req); err != nil {
 		panic(err.Error())
 	}
+	if reason := s.cfg.rejectReason(pr.Req); reason != "" {
+		panic(fmt.Sprintf("serve: request %d can never be admitted (%s) — the driver must filter it as a rejection", pr.Req.ID, reason))
+	}
 	if !s.hasReq || pr.Req.Arrival < s.firstArr {
 		s.firstArr = pr.Req.Arrival
 	}
@@ -286,20 +475,24 @@ func (s *Scheduler) SubmitPrefilled(pr Prefilled) {
 	s.inflight += int64(pr.Req.OutputLen - 1)
 	s.waiting = append(s.waiting, &reqState{
 		req:          pr.Req,
+		seq:          s.seq,
 		prefillDone:  pr.Req.PromptLen,
 		generated:    1,
 		admitAt:      pr.Admitted,
+		admitted:     true,
 		firstTok:     pr.FirstToken,
 		prefixHit:    pr.PrefixHit,
 		handoffBytes: pr.HandoffBytes,
 		handoffDur:   pr.HandoffDur,
 	})
+	s.seq++
 	s.arrived.Broadcast()
 }
 
-// kvNeed is the KV-cache reservation admission takes for a request: the
-// full prompt+output footprint, except on a prefill replica, which only
-// ever materializes prompt KV (outputs are generated on the decode pool).
+// kvNeed is the KV-cache reservation KVReserve admission takes for a
+// request: the full prompt+output footprint, except on a prefill replica,
+// which only ever materializes prompt KV (outputs are generated on the
+// decode pool).
 func (s *Scheduler) kvNeed(r Request) int64 {
 	if s.role == rolePrefill {
 		return int64(r.PromptLen) * s.kvPerTok
@@ -307,7 +500,7 @@ func (s *Scheduler) kvNeed(r Request) int64 {
 	return int64(r.PromptLen+r.OutputLen) * s.kvPerTok
 }
 
-// releaseKV returns bytes to the KV budget from engine context. The
+// releaseKV returns bytes to the KVReserve budget from engine context. The
 // disaggregation driver calls it on a prefill replica when a handoff
 // completes — the prompt KV must stay resident during the fabric transfer —
 // so admission re-checks the freed budget.
@@ -316,21 +509,120 @@ func (s *Scheduler) releaseKV(bytes int64) {
 	s.arrived.Broadcast()
 }
 
-// headAdmissible reports whether the admission FIFO's head could join the
-// running batch right now. Used as the idle-parking predicate: a drained
-// prefill replica whose KV is still pinned by in-flight handoffs parks
-// here instead of burning empty iterations until releaseKV frees budget.
-func (s *Scheduler) headAdmissible() bool {
-	if len(s.waiting) == 0 || len(s.active) >= s.cfg.MaxBatch {
-		return false
+// ensureBlocks grows rs's paged allocation until it covers tokens,
+// returning false if the pager ran dry first (blocks already grabbed are
+// kept — they stay useful on the next attempt or are freed on preemption).
+func (s *Scheduler) ensureBlocks(rs *reqState, tokens int) bool {
+	need := s.pager.BlocksFor(tokens)
+	for len(rs.blocks) < need {
+		b, ok := s.pager.Alloc()
+		if !ok {
+			return false
+		}
+		rs.blocks = append(rs.blocks, int32(b))
 	}
-	return s.kvUsed+s.kvNeed(s.waiting[0].req) <= s.cfg.KVCapacityBytes
+	return true
 }
 
-// Close marks the end of the arrival stream: once the queue and the
-// running batch drain, the scheduler process exits and the replica's
-// Result is final. Must be called from engine context, at or after the
-// last Submit.
+// freeBlocks returns every block rs holds to the pager and wakes admission.
+func (s *Scheduler) freeBlocks(rs *reqState) {
+	for _, b := range rs.blocks {
+		s.pager.Free(int(b))
+	}
+	rs.blocks = rs.blocks[:0]
+	s.arrived.Broadcast()
+}
+
+// admitTokens is the KV footprint (in tokens) admission must cover before
+// rs can join the batch: the effective prompt for fresh and recompute-
+// resumed requests, or the full resident context for a swapped-out one.
+func (s *Scheduler) admitTokens(rs *reqState) int {
+	t := rs.prompt()
+	if k := rs.kvTokens(); k > t {
+		t = k
+	}
+	return t
+}
+
+// effPrio is rs's effective priority class at `now`: its static class,
+// promoted one class per AgingNs of queueing delay when aging is on.
+func (s *Scheduler) effPrio(rs *reqState, now sim.Time) int {
+	p := rs.req.Priority
+	if p > 0 && s.cfg.AgingNs > 0 {
+		boost := int(int64(now-rs.req.Arrival) / int64(s.cfg.AgingNs))
+		if boost >= p {
+			return 0
+		}
+		return p - boost
+	}
+	return p
+}
+
+// beforeAdmit orders the waiting queue: strict effective priority first,
+// then the configured admission order, then submit order. With AdmitFIFO
+// and uniform priorities it degenerates to pure submit order, which is the
+// pre-paging scheduler's exact behavior.
+func (s *Scheduler) beforeAdmit(a, b *reqState, now sim.Time) bool {
+	pa, pb := s.effPrio(a, now), s.effPrio(b, now)
+	if pa != pb {
+		return pa < pb
+	}
+	switch s.cfg.Admission {
+	case AdmitSJF:
+		if a.req.PromptLen != b.req.PromptLen {
+			return a.req.PromptLen < b.req.PromptLen
+		}
+	case AdmitDecodeFirst:
+		ra := a.generated > 0 || a.swapped
+		rb := b.generated > 0 || b.swapped
+		if ra != rb {
+			return ra
+		}
+	}
+	return a.seq < b.seq
+}
+
+// pickWaiting returns the index of the next admission candidate at `now`.
+func (s *Scheduler) pickWaiting(now sim.Time) int {
+	best := 0
+	for i := 1; i < len(s.waiting); i++ {
+		if s.beforeAdmit(s.waiting[i], s.waiting[best], now) {
+			best = i
+		}
+	}
+	return best
+}
+
+// canAdmit reports whether rs fits the replica's KV budget right now.
+func (s *Scheduler) canAdmit(rs *reqState) bool {
+	if s.pager != nil {
+		return s.pager.FreeBlocks() >= s.pager.BlocksFor(s.admitTokens(rs))
+	}
+	return s.kvUsed+s.kvNeed(rs.req) <= s.cfg.KVCapacityBytes
+}
+
+// nextAdmissible reports whether the admission candidate the scheduler
+// would pick right now could join the running batch. Used as the
+// idle-parking predicate: a drained replica whose KV is still pinned by
+// in-flight handoffs or swaps parks here instead of burning empty
+// iterations until a release frees budget.
+func (s *Scheduler) nextAdmissible() bool {
+	if len(s.waiting) == 0 || len(s.active)+s.swapIn >= s.cfg.MaxBatch {
+		return false
+	}
+	now := s.eng.Now()
+	return s.canAdmit(s.waiting[s.pickWaiting(now)])
+}
+
+// transit is the number of requests owned by the replica but in neither
+// the waiting queue nor the running batch: their swap transfer is in
+// flight. The scheduler process may not exit while any remain.
+func (s *Scheduler) transit() int { return s.swapIn + s.swapOut }
+
+// Close marks the end of the arrival stream: once the queue, the running
+// batch and any in-flight swaps drain, the scheduler process exits and the
+// replica's Result is final. Must be called from engine context, at or
+// after the last Submit.
 func (s *Scheduler) Close() {
 	s.closed = true
 	s.arrived.Broadcast()
@@ -373,17 +665,15 @@ func (s *Scheduler) Result() *Result { return s.res }
 func (s *Scheduler) loop(p *sim.Proc) {
 	for {
 		if len(s.active) == 0 {
-			// Park until the FIFO head can actually be admitted (or the
-			// stream is closed and drained). For unified replicas an empty
-			// batch implies an empty KV budget, so this is exactly the old
-			// "anything waiting" predicate; on a prefill replica the budget
-			// may still be pinned by in-flight handoffs, and waking before
-			// releaseKV would only burn empty iterations.
+			// Park until something can make progress: a swap-in landed in
+			// the batch, the next admission candidate fits, or the stream
+			// is closed and fully drained (including swap transit).
 			p.Wait(s.arrived, "waiting for arrivals", func() bool {
-				return s.headAdmissible() || (s.closed && len(s.waiting) == 0)
+				return len(s.active) > 0 || s.nextAdmissible() ||
+					(s.closed && len(s.waiting) == 0 && s.transit() == 0)
 			})
-			if len(s.waiting) == 0 {
-				// Pred held with nothing queued: closed and fully drained.
+			if len(s.active) == 0 && len(s.waiting) == 0 && s.transit() == 0 {
+				// Pred held with nothing resident: closed and fully drained.
 				break
 			}
 		}
@@ -394,38 +684,235 @@ func (s *Scheduler) loop(p *sim.Proc) {
 	}
 }
 
-// iterate runs one engine iteration: admission, batch formation, pricing,
-// and effect application at the iteration's completion time.
+// moreImportant orders resident requests for victim selection: strict
+// effective priority, then earliest arrival, then submit order. Victims
+// are taken from the unimportant end — lowest class, latest arrival —
+// which is also the request whose eviction wastes the least paid-for work
+// under FIFO admission.
+func (s *Scheduler) moreImportant(a, b *reqState, now sim.Time) bool {
+	pa, pb := s.effPrio(a, now), s.effPrio(b, now)
+	if pa != pb {
+		return pa < pb
+	}
+	if a.req.Arrival != b.req.Arrival {
+		return a.req.Arrival < b.req.Arrival
+	}
+	return a.seq < b.seq
+}
+
+// preempt evicts rs from the running batch at `now`. The recompute-or-swap
+// choice compares closed-form costs under PreemptAuto: re-prefilling the
+// resident context (one request, batch of 1) against one swap-out plus one
+// swap-in of the resident KV shard over uncontended copy engines. Decode-
+// pool replicas always swap — they cannot run prefill. The caller removes
+// rs from s.active. Returns true when the victim's blocks were freed
+// immediately (recompute); a swap victim's blocks free only when the
+// copy engines finish reading them out.
+func (s *Scheduler) preempt(rs *reqState, now sim.Time) bool {
+	resident := rs.kvTokens()
+	var recompute sim.Duration
+	if resident > 0 {
+		recompute = inference.PrefillStep(s.cfg.Env, s.cfg.Model, 1, resident, s.cfg.AR)
+	}
+	shard := s.cfg.Model.KVShardBytes(resident)
+	swapCost := 2 * s.swapper.Cost(shard)
+	mode := s.cfg.Preempt
+	if s.role == roleDecode {
+		mode = PreemptSwap
+	} else if mode == PreemptAuto {
+		if swapCost < recompute {
+			mode = PreemptSwap
+		} else {
+			mode = PreemptRecompute
+		}
+	}
+	rs.preempts++
+	s.res.Preemptions++
+	ev := PreemptEvent{
+		TimeNs:          now,
+		RequestID:       rs.req.ID,
+		ResidentTokens:  resident,
+		RecomputeCostNs: recompute,
+		SwapCostNs:      swapCost,
+	}
+	if mode == PreemptRecompute {
+		ev.Mode = "recompute"
+		s.res.Preempts = append(s.res.Preempts, ev)
+		s.res.Recomputes++
+		s.freeBlocks(rs)
+		// The tokens of the resident context must be re-processed: fold the
+		// generated tokens into the effective prompt and restart prefill.
+		s.inflight += int64(rs.prefillDone + rs.generated - rs.replay)
+		rs.replay = rs.generated
+		rs.prefillDone = 0
+		s.waiting = append(s.waiting, rs)
+		return true
+	}
+	ev.Mode = "swap"
+	s.res.Preempts = append(s.res.Preempts, ev)
+	s.res.Swaps++
+	wire := shard * int64(s.cfg.Env.TotalGPUs())
+	rs.swapBytes += wire
+	s.res.SwapBytes += wire
+	end := s.swapper.Transfer(now, shard)
+	rs.swapped = true
+	s.swapOut++
+	s.freeSoon += len(rs.blocks)
+	// The victim's blocks stay allocated until the copy engines have read
+	// them out; only then does it rejoin the waiting queue.
+	s.eng.At(end, func() {
+		s.swapOut--
+		s.freeSoon -= len(rs.blocks)
+		s.freeBlocks(rs)
+		s.waiting = append(s.waiting, rs)
+		s.arrived.Broadcast()
+	})
+	return false
+}
+
+// growDecoders is the paged-mode growth pass: every running decoder must
+// cover its next token's KV block before the iteration is formed. Requests
+// are served in importance order; when the pager runs dry the least-
+// important resident request is preempted (possibly the grower itself,
+// vLLM-style, in which case it stops growing and leaves the batch).
+//
+// Swap evictions free their blocks only when the copy engines finish, so
+// a grower whose deficit is already covered by in-flight swap-outs stalls
+// for this iteration instead of cascade-evicting the whole batch — without
+// that, a full pool of swap victims thrashes out and back in forever with
+// zero tokens of forward progress. Returns true when any request was
+// preempted or stalled; the caller must then skip new admission so the
+// blocks coming free go to resident decoders, not to re-admitting the
+// victims that just vacated them.
+func (s *Scheduler) growDecoders(p *sim.Proc) bool {
+	now := p.Now()
+	order := make([]*reqState, len(s.active))
+	copy(order, s.active)
+	sort.SliceStable(order, func(i, j int) bool { return s.moreImportant(order[i], order[j], now) })
+	var evicted map[*reqState]bool
+	stalls := 0
+	pending := s.freeSoon // blocks already on their way back to the pool
+	j := len(order) - 1
+	for i := 0; i < len(order); i++ {
+		rs := order[i]
+		if evicted[rs] || rs.prefillDone < rs.prompt() || rs.generated >= rs.req.OutputLen {
+			continue
+		}
+		rs.stalled = false
+		for !s.ensureBlocks(rs, rs.kvTokens()+1) {
+			if pending >= s.pager.BlocksFor(rs.kvTokens()+1)-len(rs.blocks) {
+				// In-flight frees cover the deficit: sit this iteration out.
+				rs.stalled = true
+				stalls++
+				break
+			}
+			for j > i && evicted[order[j]] {
+				j--
+			}
+			if evicted == nil {
+				evicted = make(map[*reqState]bool)
+			}
+			if j <= i {
+				// No less-important victim remains. If frees are in flight,
+				// stall; otherwise the grower evicts itself, vLLM-style.
+				if pending > 0 {
+					rs.stalled = true
+					stalls++
+				} else {
+					if !s.preempt(rs, now) {
+						pending += len(rs.blocks)
+					}
+					evicted[rs] = true
+				}
+				break
+			}
+			victim := order[j]
+			j--
+			evicted[victim] = true
+			if !s.preempt(victim, now) {
+				pending += len(victim.blocks)
+			}
+		}
+	}
+	if len(evicted) > 0 {
+		keep := s.active[:0]
+		for _, rs := range s.active {
+			if !evicted[rs] {
+				keep = append(keep, rs)
+			}
+		}
+		s.active = keep
+	}
+	return len(evicted) > 0 || stalls > 0
+}
+
+// iterate runs one engine iteration: admission, paged growth/preemption,
+// batch formation, pricing, and effect application at the iteration's
+// completion time.
 func (s *Scheduler) iterate(p *sim.Proc) {
 	c := &s.cfg
-	// Admission: FIFO while the batch bound and the KV budget allow.
-	// Head-of-line blocking on KV is intentional — admitting smaller
-	// requests around a stuck head would starve long prompts.
-	for len(s.waiting) > 0 && len(s.active) < c.MaxBatch {
-		head := s.waiting[0]
-		need := s.kvNeed(head.req)
-		if s.kvUsed+need > c.KVCapacityBytes {
+	now := p.Now()
+
+	// Paged growth runs before admission: every decoder's next-token block
+	// must exist before the batch is formed, and resident decoders outrank
+	// the waiting queue for blocks. On an iteration that preempted or
+	// stalled, admission is skipped entirely — otherwise the freed blocks
+	// would be re-granted to the just-evicted victims and the pool would
+	// thrash in place instead of letting the batch shrink and drain.
+	disturbed := false
+	if s.pager != nil && len(s.active) > 0 {
+		disturbed = s.growDecoders(p)
+	}
+
+	// Admission: the configured order while the batch bound and the KV
+	// budget allow. Head-of-line blocking on KV is intentional — admitting
+	// smaller requests around a stuck candidate would starve long prompts.
+	// In-flight swap-ins count toward the batch bound; they are already
+	// committed residents.
+	for !disturbed && len(s.waiting) > 0 && len(s.active)+s.swapIn < c.MaxBatch {
+		idx := s.pickWaiting(now)
+		head := s.waiting[idx]
+		if !s.canAdmit(head) {
 			break
 		}
-		s.waiting = s.waiting[1:]
-		head.kvReserved = need
-		s.kvUsed += need
+		s.waiting = append(s.waiting[:idx], s.waiting[idx+1:]...)
+		if s.pager != nil {
+			if !s.ensureBlocks(head, s.admitTokens(head)) {
+				panic(fmt.Sprintf("serve: request %d lost KV blocks admission just checked", head.req.ID))
+			}
+		} else {
+			head.kvReserved = s.kvNeed(head.req)
+			s.kvUsed += head.kvReserved
+		}
+		if head.swapped {
+			// Re-admission of a swapped-out victim: its resident KV pages
+			// back in over the copy engines; it rejoins the batch when the
+			// transfer lands.
+			s.swapInStart(head, now)
+			continue
+		}
 		if s.role == roleDecode {
 			// The request was admitted (and prefilled) on the prefill pool;
-			// record when the decode pool let its handoff into the batch.
-			head.decodeAdmit = p.Now()
-		} else {
-			head.admitAt = p.Now()
+			// record when the decode pool first let its handoff into a batch.
+			if !head.decodeAdmited {
+				head.decodeAdmit = now
+				head.decodeAdmited = true
+			}
+		} else if !head.admitted {
+			head.admitAt = now
+			head.admitted = true
 		}
 		// KV prefix reuse: a replica that has already prefilled this
 		// request's shared prefix (prefixSeen is set at prefill completion,
 		// so the discount is only granted for KV that actually exists)
 		// skips those prompt tokens, but at least one token always goes
 		// through prefill so the first-token event stays well-defined. The
-		// KV reservation stays at the full footprint — conservative, like
-		// the rest of the admission policy. Decode replicas never prefill,
-		// so the discount (which rewinds prefillDone) must not apply there.
-		if g := head.req.PrefixGroup; s.role != roleDecode && g != 0 && head.req.PrefixLen > 0 && s.prefixSeen[g] {
+		// KV footprint stays at the full prompt — conservative, like the
+		// rest of the admission policy. Decode replicas never prefill, so
+		// the discount (which rewinds prefillDone) must not apply there;
+		// neither does it apply to resumed requests mid-lifecycle.
+		if g := head.req.PrefixGroup; s.role != roleDecode && g != 0 && head.req.PrefixLen > 0 && s.prefixSeen[g] &&
+			head.prefillDone == 0 && head.generated == 0 && head.replay == 0 {
 			d := head.req.PrefixLen
 			if d > head.req.PromptLen-1 {
 				d = head.req.PromptLen - 1
@@ -449,19 +936,34 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	var decoders []*reqState
 	var decodeCtx int64
 	for _, rs := range s.active {
-		if rs.prefillDone < rs.req.PromptLen {
+		if rs.prefillDone < rs.prompt() {
 			if chunkLeft > 0 {
-				tok := rs.req.PromptLen - rs.prefillDone
+				tok := rs.prompt() - rs.prefillDone
 				if tok > chunkLeft {
 					tok = chunkLeft
 				}
 				prefills = append(prefills, prefillShare{rs, tok})
 				chunkLeft -= tok
 			}
-		} else if rs.generated < rs.req.OutputLen {
+		} else if rs.generated < rs.req.OutputLen && !rs.stalled {
 			decoders = append(decoders, rs)
-			decodeCtx += int64(rs.req.PromptLen + rs.generated)
+			decodeCtx += int64(rs.prompt() + rs.generated - rs.replay)
 		}
+	}
+
+	if len(prefills) == 0 && len(decoders) == 0 {
+		if len(s.active) == 0 {
+			// Growth evicted everything; loop() parks until the evictions
+			// land or new work arrives.
+			return
+		}
+		// Every resident decoder is stalled on KV frees still in flight;
+		// park until a swap-out lands rather than spinning empty
+		// iterations at the scheduler overhead.
+		p.Wait(s.arrived, "stalled on kv frees", func() bool {
+			return s.pager.FreeBlocks() > 0 || s.transit() == 0
+		})
+		return
 	}
 
 	// Price the iteration. Prefill and decode execute back to back
@@ -483,17 +985,23 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	for _, ps := range prefills {
 		ps.rs.prefillDone += ps.tok
 		s.inflight -= int64(ps.tok)
-		if ps.rs.prefillDone == ps.rs.req.PromptLen {
-			// Prefill completion emits the first output token, and only
-			// now is the request's shared prefix KV resident — requests of
-			// the same group admitted earlier (e.g. within one burst) paid
-			// full prefill, as they would have on real hardware.
-			ps.rs.generated = 1
+		if ps.rs.prefillDone == ps.rs.prompt() {
+			if ps.rs.generated == 0 {
+				// Prefill completion emits the first output token, and only
+				// now is the request's shared prefix KV resident — requests of
+				// the same group admitted earlier (e.g. within one burst) paid
+				// full prefill, as they would have on real hardware.
+				ps.rs.generated = 1
+				ps.rs.firstTok = end
+			} else {
+				// Recompute replay: the re-prefill's forward pass emits the
+				// next output token, exactly like the original prefill did.
+				ps.rs.generated++
+			}
 			if s.role != rolePrefill {
 				// Prefill replicas never counted output tokens as load.
 				s.inflight--
 			}
-			ps.rs.firstTok = end
 			if g := ps.rs.req.PrefixGroup; g != 0 {
 				s.prefixSeen[g] = true
 			}
@@ -506,36 +1014,50 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	keep := s.active[:0]
 	for _, rs := range s.active {
 		switch {
-		case s.role == rolePrefill && rs.prefillDone == rs.req.PromptLen && rs.req.OutputLen > 1:
+		case s.role == rolePrefill && rs.prefillDone == rs.prompt() && rs.req.OutputLen > 1:
 			// Prefill done: the request leaves this replica, but its prompt
-			// KV stays reserved until the fabric handoff completes (the
-			// driver calls releaseKV at the transfer's end time). The
+			// KV stays resident until the fabric handoff completes (the
+			// driver calls release at the transfer's end time). The
 			// per-request record is written by the decode replica that
 			// finishes the request.
 			s.lastDone = end
 			if s.onPrefilled != nil {
+				pinned := rs
 				s.onPrefilled(Prefilled{
 					Req:        rs.req,
 					Admitted:   rs.admitAt,
 					FirstToken: rs.firstTok,
 					PrefixHit:  rs.prefixHit,
-				}, end)
+				}, end, func() {
+					if s.pager != nil {
+						s.freeBlocks(pinned)
+					} else {
+						s.releaseKV(pinned.kvReserved)
+					}
+				})
 			}
-		case rs.generated >= rs.req.OutputLen && rs.prefillDone == rs.req.PromptLen:
+		case rs.generated >= rs.req.OutputLen && rs.prefillDone == rs.prompt():
 			// Complete. On a prefill replica this is the one-token case:
 			// the single output token came from prefill, no decode phase
 			// exists, so the request never visits the decode pool.
-			s.kvUsed -= rs.kvReserved
+			if s.pager != nil {
+				s.freeBlocks(rs)
+			} else {
+				s.kvUsed -= rs.kvReserved
+			}
 			s.lastDone = end
 			s.res.PerRequest = append(s.res.PerRequest, RequestMetrics{
 				ID:             rs.req.ID,
 				PromptLen:      rs.req.PromptLen,
 				OutputLen:      rs.req.OutputLen,
+				Priority:       rs.req.Priority,
 				Arrival:        rs.req.Arrival,
 				Admitted:       rs.admitAt,
 				FirstToken:     rs.firstTok,
 				Done:           end,
 				PrefixHit:      rs.prefixHit,
+				Preemptions:    rs.preempts,
+				SwapBytes:      rs.swapBytes,
 				DecodeAdmitted: rs.decodeAdmit,
 				KVHandoffBytes: rs.handoffBytes,
 				HandoffNs:      rs.handoffDur,
@@ -547,12 +1069,33 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	s.active = keep
 }
 
+// swapInStart begins paging a re-admitted victim's resident KV back onto
+// the replica. Its blocks are already allocated; the request rejoins the
+// running batch when the last lane's transfer lands.
+func (s *Scheduler) swapInStart(rs *reqState, now sim.Time) {
+	shard := s.cfg.Model.KVShardBytes(rs.kvTokens())
+	wire := shard * int64(s.cfg.Env.TotalGPUs())
+	rs.swapBytes += wire
+	s.res.SwapBytes += wire
+	end := s.swapper.Transfer(now, shard)
+	s.swapIn++
+	s.eng.At(end, func() {
+		s.swapIn--
+		rs.swapped = false
+		s.active = append(s.active, rs)
+		s.arrived.Broadcast()
+	})
+}
+
 // Run replays the workload against a single replica and returns its
 // per-request metrics. It builds a fresh discrete-event engine, schedules
 // every arrival as an engine event, and runs the scheduler process until
-// the last request completes.
+// the last request completes. Requests the config can never admit are
+// recorded as Rejected rows (appended after the completed requests)
+// instead of failing the run.
 func Run(cfg Config, wl Workload) (*Result, error) {
-	if _, err := prepare(cfg, wl); err != nil {
+	_, admitted, rejected, err := prepare(cfg, wl)
+	if err != nil {
 		return nil, err
 	}
 
@@ -562,9 +1105,9 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 	s.res.Workload = wl.Name
-	s.res.PerRequest = make([]RequestMetrics, 0, len(wl.Requests))
+	s.res.PerRequest = make([]RequestMetrics, 0, len(admitted.Requests))
 	var last sim.Time
-	for _, r := range wl.Requests {
+	for _, r := range admitted.Requests {
 		req := r
 		eng.At(req.Arrival, func() { s.Submit(req) })
 		if req.Arrival > last {
@@ -575,5 +1118,8 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	return s.Result(), nil
+	res := s.Result()
+	res.Rejected += len(rejected)
+	res.PerRequest = append(res.PerRequest, rejected...)
+	return res, nil
 }

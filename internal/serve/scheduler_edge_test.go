@@ -26,7 +26,17 @@ func TestSchedulerEdgeCases(t *testing.T) {
 			reqs: []Request{
 				{Arrival: 0, PromptLen: 90, OutputLen: 20}, // 110 tokens > 100-token budget
 			},
-			wantErr: true, // rejected deterministically up front, never queued
+			// Rejected deterministically up front as a structured outcome,
+			// never queued and never a hard error.
+			check: func(t *testing.T, res *Result) {
+				if res.Rejected != 1 || len(res.PerRequest) != 1 {
+					t.Fatalf("want 1 rejection, got %+v", res)
+				}
+				m := res.PerRequest[0]
+				if !m.Rejected || m.RejectedReason != "kv-capacity" || m.Done != 0 {
+					t.Errorf("malformed rejection row: %+v", m)
+				}
+			},
 		},
 		{
 			name: "kv-footprint-exactly-capacity",

@@ -203,10 +203,23 @@ func TestKVAdmissionGate(t *testing.T) {
 		t.Error("request 1 should have queued behind the KV gate")
 	}
 
-	// A request that can never fit is rejected up front, not deadlocked.
+	// A request that can never fit is rejected up front as a structured
+	// per-request outcome — not a hard error, not a deadlock.
 	cfg.KVCapacityBytes = 10 * perTok
-	if _, err := Run(cfg, wl); err == nil {
-		t.Error("Run accepted a request larger than total KV capacity")
+	res, err = Run(cfg, wl)
+	if err != nil {
+		t.Fatalf("never-fit requests must reject, not error: %v", err)
+	}
+	if res.Rejected != 2 {
+		t.Errorf("rejected = %d, want 2 (every request exceeds 10 tokens of KV)", res.Rejected)
+	}
+	for _, m := range res.PerRequest {
+		if !m.Rejected || m.RejectedReason != "kv-capacity" {
+			t.Errorf("request %d: not marked rejected: %+v", m.ID, m)
+		}
+		if m.Admitted != 0 || m.FirstToken != 0 || m.Done != 0 {
+			t.Errorf("request %d: rejected row carries lifecycle timestamps: %+v", m.ID, m)
+		}
 	}
 }
 
