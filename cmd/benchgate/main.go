@@ -1,0 +1,201 @@
+// Command benchgate compares `go test -bench` output against committed
+// BENCH_*.json baselines and fails on wall-clock regressions.
+//
+// Usage:
+//
+//	go test ./internal/sim -bench BenchmarkEngine -count 3 | \
+//	    go run ./cmd/benchgate -baseline BENCH_sim.json
+//
+// Each baseline file is a BENCH_*.json record (see BENCH_sim.json /
+// BENCH_serve.json): a "benchmarks" map whose entries carry an ns_op
+// number, either at the top level or under "after" (the post-optimization
+// measurement of a before/after pair). A benchmark line regresses when
+// its ns/op exceeds baseline * tolerance; the default tolerance is 1.25
+// (25%), chosen to sit above the run-to-run noise of shared CI runners
+// while still catching the step-function slowdowns that matter —
+// accidental O(n^2), a lost fast path, an allocation on a hot loop.
+//
+// Noise handling: run the benchmarks with -count N and benchgate gates on
+// the *minimum* ns/op per benchmark — the minimum is the least noisy
+// estimator of the true cost on a time-shared machine. Baselines are
+// per-runner-class numbers: refresh them (editing the JSON deliberately,
+// like any golden) when the CI hardware or the benchmark itself changes.
+//
+// With -require-all, every baselined benchmark must appear in the input;
+// this catches a gated benchmark being renamed or dropped, which would
+// otherwise silently un-gate it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is one measurement in a baseline entry.
+type metric struct {
+	NsOp float64 `json:"ns_op"`
+}
+
+// entry is one baseline benchmark record: ns_op either inline or under
+// "after" (before/after pairs gate on the "after" number). gate_ns_op,
+// when present, overrides both — it refreshes the gate threshold on a
+// noisy benchmark without rewriting the historical before/after record.
+type entry struct {
+	NsOp   float64 `json:"ns_op"`
+	GateNs float64 `json:"gate_ns_op"`
+	After  *metric `json:"after"`
+}
+
+// baselineNs returns the entry's gate value, or 0 when the entry carries
+// no ns_op (descriptive-only records are not gated).
+func (e entry) baselineNs() float64 {
+	if e.GateNs > 0 {
+		return e.GateNs
+	}
+	if e.After != nil && e.After.NsOp > 0 {
+		return e.After.NsOp
+	}
+	return e.NsOp
+}
+
+// benchFile is the subset of a BENCH_*.json record benchgate reads.
+type benchFile struct {
+	Benchmarks map[string]entry `json:"benchmarks"`
+}
+
+// stringList collects a repeatable -baseline flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+// Set appends one flag occurrence.
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+// parseBench extracts min-ns/op per benchmark from `go test -bench`
+// output. Benchmark names are normalized: the "Benchmark" prefix and the
+// -GOMAXPROCS suffix are stripped, so lines match baseline keys like
+// "EngineEventThroughput".
+func parseBench(r io.Reader) (map[string]float64, error) {
+	mins := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// The ns/op value is the number preceding the "ns/op" unit token.
+		for i := 2; i < len(fields); i++ {
+			if fields[i] != "ns/op" {
+				continue
+			}
+			ns, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad ns/op on line %q: %v", sc.Text(), err)
+			}
+			if cur, ok := mins[name]; !ok || ns < cur {
+				mins[name] = ns
+			}
+			break
+		}
+	}
+	return mins, sc.Err()
+}
+
+// gate compares measured minima against baselines and writes a verdict
+// table. It returns the regressed and (under requireAll) missing names.
+func gate(w io.Writer, baselines map[string]float64, measured map[string]float64, tolerance float64, requireAll bool) (regressed, missing []string) {
+	names := make([]string, 0, len(baselines))
+	for name := range baselines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baselines[name]
+		got, ok := measured[name]
+		if !ok {
+			if requireAll {
+				missing = append(missing, name)
+				fmt.Fprintf(w, "MISSING %-28s baseline %12.1f ns/op — not in bench output\n", name, base)
+			}
+			continue
+		}
+		limit := base * tolerance
+		verdict := "ok"
+		if got > limit {
+			verdict = "REGRESSED"
+			regressed = append(regressed, name)
+		}
+		fmt.Fprintf(w, "%-9s %-28s %12.1f ns/op (baseline %12.1f, limit %12.1f, %+6.1f%%)\n",
+			verdict, name, got, base, limit, 100*(got/base-1))
+	}
+	return regressed, missing
+}
+
+func main() {
+	var files stringList
+	flag.Var(&files, "baseline", "BENCH_*.json baseline file (repeatable)")
+	tolerance := flag.Float64("tolerance", 1.25, "fail when ns/op exceeds baseline * tolerance")
+	requireAll := flag.Bool("require-all", false, "fail if any baselined benchmark is absent from the input")
+	flag.Parse()
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: at least one -baseline file is required")
+		os.Exit(2)
+	}
+
+	baselines := map[string]float64{}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		var bf benchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %s: %v\n", f, err)
+			os.Exit(2)
+		}
+		for name, e := range bf.Benchmarks {
+			if ns := e.baselineNs(); ns > 0 {
+				baselines[name] = ns
+			}
+		}
+	}
+
+	in := io.Reader(os.Stdin)
+	if args := flag.Args(); len(args) == 1 {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	regressed, missing := gate(os.Stdout, baselines, measured, *tolerance, *requireAll)
+	if len(regressed) > 0 || len(missing) > 0 {
+		fmt.Printf("benchgate: %d regressed, %d missing (tolerance %.0f%%)\n",
+			len(regressed), len(missing), 100*(*tolerance-1))
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within %.0f%% of baseline\n", len(measured), 100*(*tolerance-1))
+}

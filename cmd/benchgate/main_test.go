@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: mscclpp/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEngineEventThroughput-8   	13478241	        95.1 ns/op	       1 B/op	       0 allocs/op
+BenchmarkEngineEventThroughput-8   	13101120	        91.3 ns/op	       1 B/op	       0 allocs/op
+BenchmarkServeCallbackStream 	     100	  10432890 ns/op	    191702 req/s	  993977 B/op	    6390 allocs/op
+BenchmarkNoUnit 	 1000	 12 somethingelse/op
+PASS
+ok  	mscclpp/internal/sim	4.5s
+`
+
+func TestParseBench(t *testing.T) {
+	mins, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mins["EngineEventThroughput"]; got != 91.3 {
+		t.Errorf("EngineEventThroughput min = %v, want 91.3 (min of repeated counts)", got)
+	}
+	if got := mins["ServeCallbackStream"]; got != 10432890 {
+		t.Errorf("ServeCallbackStream = %v, want 10432890", got)
+	}
+	if _, ok := mins["NoUnit"]; ok {
+		t.Error("line without ns/op unit should be ignored")
+	}
+	if len(mins) != 2 {
+		t.Errorf("parsed %d benchmarks, want 2: %v", len(mins), mins)
+	}
+}
+
+func TestParseBenchSuffixStripping(t *testing.T) {
+	// A trailing -N is only a GOMAXPROCS suffix when numeric; a name that
+	// itself ends in a non-numeric dash segment must survive intact.
+	mins, err := parseBench(strings.NewReader(
+		"BenchmarkFoo-bar 	 10	 5.0 ns/op\nBenchmarkBaz-16 	 10	 7.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mins["Foo-bar"]; !ok {
+		t.Errorf("non-numeric suffix stripped: %v", mins)
+	}
+	if _, ok := mins["Baz"]; !ok {
+		t.Errorf("numeric GOMAXPROCS suffix kept: %v", mins)
+	}
+}
+
+func TestGate(t *testing.T) {
+	baselines := map[string]float64{"A": 100, "B": 100, "C": 100}
+	measured := map[string]float64{"A": 110, "B": 130}
+
+	var out strings.Builder
+	regressed, missing := gate(&out, baselines, measured, 1.25, false)
+	if len(regressed) != 1 || regressed[0] != "B" {
+		t.Errorf("regressed = %v, want [B]", regressed)
+	}
+	if len(missing) != 0 {
+		t.Errorf("missing = %v without -require-all, want none", missing)
+	}
+	if !strings.Contains(out.String(), "REGRESSED B") && !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("verdict table lacks REGRESSED line:\n%s", out.String())
+	}
+
+	out.Reset()
+	_, missing = gate(&out, baselines, measured, 1.25, true)
+	if len(missing) != 1 || missing[0] != "C" {
+		t.Errorf("missing = %v with -require-all, want [C]", missing)
+	}
+}
+
+func TestBaselineNs(t *testing.T) {
+	if got := (entry{NsOp: 5}).baselineNs(); got != 5 {
+		t.Errorf("inline ns_op = %v, want 5", got)
+	}
+	if got := (entry{NsOp: 5, After: &metric{NsOp: 3}}).baselineNs(); got != 3 {
+		t.Errorf("after.ns_op should win: got %v, want 3", got)
+	}
+	if got := (entry{}).baselineNs(); got != 0 {
+		t.Errorf("empty entry = %v, want 0 (ungated)", got)
+	}
+	if got := (entry{NsOp: 5, GateNs: 7, After: &metric{NsOp: 3}}).baselineNs(); got != 7 {
+		t.Errorf("gate_ns_op should override everything: got %v, want 7", got)
+	}
+}

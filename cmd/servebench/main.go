@@ -180,6 +180,7 @@ func adhocReplica() serve.Config {
 		MaxBatch:        24,
 		KVCapacityBytes: 4 << 30,
 		ChunkTokens:     512,
+		Metrics:         serve.MetricsExact,
 	}
 }
 

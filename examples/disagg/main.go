@@ -44,6 +44,7 @@ func main() {
 		MaxBatch:        24,
 		KVCapacityBytes: 4 << 30,
 		ChunkTokens:     512,
+		Metrics:         serve.MetricsExact,
 	}
 
 	wl := serve.Poisson(*seed, *n, *rate,

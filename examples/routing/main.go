@@ -38,6 +38,7 @@ func main() {
 		MaxBatch:        24,
 		KVCapacityBytes: 4 << 30,
 		ChunkTokens:     512,
+		Metrics:         serve.MetricsExact,
 	}
 
 	// An on/off bursty arrival process (base 6 req/s, 48 req/s spikes),

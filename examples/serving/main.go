@@ -41,8 +41,9 @@ func main() {
 		Model:           inference.Llama3x70B(8),
 		AR:              ar.Time,
 		MaxBatch:        32,
-		KVCapacityBytes: 4 << 30, // per-GPU KV budget gates admission
-		ChunkTokens:     512,     // chunked-prefill token budget per iteration
+		KVCapacityBytes: 4 << 30,            // per-GPU KV budget gates admission
+		ChunkTokens:     512,                // chunked-prefill token budget per iteration
+		Metrics:         serve.MetricsExact, // retain rows: small run, post-hoc SLO sweeps
 	}, wl)
 	if err != nil {
 		log.Fatal(err)

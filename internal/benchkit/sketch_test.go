@@ -1,0 +1,239 @@
+package benchkit
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sketchSamples builds the seeded sample sets the sketch properties are
+// checked over: shapes chosen to stress both tails (uniform), the heavy
+// right tail latency series actually have (lognormal), and near-zero mass
+// (exponential).
+func sketchSamples(t *testing.T) map[string][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	n := 20000
+	uni := make([]float64, n)
+	lgn := make([]float64, n)
+	exp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		uni[i] = 0.5 + 1000*rng.Float64()
+		lgn[i] = math.Exp(rng.NormFloat64()*1.5 + 3)
+		exp[i] = rng.ExpFloat64() * 20
+	}
+	return map[string][]float64{"uniform": uni, "lognormal": lgn, "exponential": exp}
+}
+
+var sketchPercentiles = []float64{0, 1, 5, 25, 50, 75, 90, 95, 99, 99.9, 100}
+
+// TestSketchErrorBound is the exactness-vs-sketch gate: for every tested
+// quantile the sketch answer must land within the advertised relative
+// error of the exact order statistics bracketing that rank.
+func TestSketchErrorBound(t *testing.T) {
+	for name, xs := range sketchSamples(t) {
+		sk := NewSketch(0)
+		for _, x := range xs {
+			sk.Add(x)
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		alpha := sk.Alpha()
+		for _, p := range sketchPercentiles {
+			got := sk.Percentile(p)
+			rank := p / 100 * float64(len(sorted)-1)
+			lo := sorted[int(math.Floor(rank))] * (1 - alpha - 1e-9)
+			hi := sorted[int(math.Ceil(rank))] * (1 + alpha + 1e-9)
+			if got < lo || got > hi {
+				t.Errorf("%s p%v: sketch %v outside [%v, %v]", name, p, got, lo, hi)
+			}
+		}
+		// Count/Sum/Mean/Min/Max are exact, matching the Summary path.
+		ex := NewSummary(xs)
+		if int(sk.Count()) != ex.Count() {
+			t.Errorf("%s: Count %d != %d", name, sk.Count(), ex.Count())
+		}
+		if sk.Min() != ex.Min() || sk.Max() != ex.Max() {
+			t.Errorf("%s: Min/Max %v/%v != %v/%v", name, sk.Min(), sk.Max(), ex.Min(), ex.Max())
+		}
+		if math.Abs(sk.Mean()-ex.Mean()) > 1e-9*math.Abs(ex.Mean()) {
+			t.Errorf("%s: Mean %v != %v", name, sk.Mean(), ex.Mean())
+		}
+	}
+}
+
+// TestSketchMergeProperties checks that merging is associative and
+// commutative for quantile queries, and that a merged sketch equals the
+// sketch of the pooled stream — the invariant cross-replica pooling needs.
+func TestSketchMergeProperties(t *testing.T) {
+	for name, xs := range sketchSamples(t) {
+		// Three uneven parts.
+		a, b, c := xs[:len(xs)/5], xs[len(xs)/5:len(xs)/2], xs[len(xs)/2:]
+		build := func(part []float64) *Sketch {
+			s := NewSketch(0)
+			for _, x := range part {
+				s.Add(x)
+			}
+			return s
+		}
+		pooled := build(xs)
+
+		// (a+b)+c
+		left := build(a)
+		left.Merge(build(b))
+		left.Merge(build(c))
+		// a+(b+c)
+		bc := build(b)
+		bc.Merge(build(c))
+		right := build(a)
+		right.Merge(bc)
+		// c+b+a (commuted)
+		rev := build(c)
+		rev.Merge(build(b))
+		rev.Merge(build(a))
+
+		for _, p := range sketchPercentiles {
+			want := pooled.Percentile(p)
+			for i, m := range []*Sketch{left, right, rev} {
+				if got := m.Percentile(p); got != want {
+					t.Errorf("%s p%v merge order %d: %v != pooled %v", name, p, i, got, want)
+				}
+			}
+		}
+		if left.Count() != pooled.Count() || left.Min() != pooled.Min() || left.Max() != pooled.Max() {
+			t.Errorf("%s: merged count/min/max diverge from pooled", name)
+		}
+		if rel := math.Abs(left.Mean()-pooled.Mean()) / math.Abs(pooled.Mean()); rel > 1e-12 {
+			t.Errorf("%s: merged mean off by %v relative", name, rel)
+		}
+	}
+}
+
+// TestSketchDeterminism: the same stream always yields the same answers.
+func TestSketchDeterminism(t *testing.T) {
+	for name, xs := range sketchSamples(t) {
+		s1, s2 := NewSketch(0), NewSketch(0)
+		for _, x := range xs {
+			s1.Add(x)
+			s2.Add(x)
+		}
+		for _, p := range sketchPercentiles {
+			if s1.Percentile(p) != s2.Percentile(p) {
+				t.Fatalf("%s p%v: nondeterministic sketch", name, p)
+			}
+		}
+	}
+}
+
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch(0)
+	if s.Percentile(50) != 0 || s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Errorf("empty sketch queries must all be 0")
+	}
+	s.Add(7.5)
+	for _, p := range []float64{0, 50, 100} {
+		got := s.Percentile(p)
+		if got < 7.5*(1-s.Alpha()) || got > 7.5*(1+s.Alpha()) {
+			t.Errorf("single sample p%v = %v", p, got)
+		}
+	}
+	// Zero and sub-resolution samples land in the exact zero bucket.
+	z := NewSketch(0)
+	z.Add(0)
+	z.Add(0)
+	z.Add(100)
+	if got := z.Percentile(25); got != 0 {
+		t.Errorf("zero-bucket p25 = %v, want 0", got)
+	}
+	if z.Min() != 0 || z.Max() != 100 || z.Count() != 3 {
+		t.Errorf("zero-bucket min/max/count = %v/%v/%d", z.Min(), z.Max(), z.Count())
+	}
+
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("alpha=1", func() { NewSketch(1) })
+	mustPanic("alpha<0", func() { NewSketch(-0.5) })
+	mustPanic("alpha mismatch", func() {
+		a, b := NewSketch(0.01), NewSketch(0.02)
+		b.Add(1)
+		a.Merge(b)
+	})
+}
+
+// TestSketchCollapse drives the bucket window past its fixed-size bound
+// and checks memory stays bounded while the high quantiles stay accurate
+// (the collapse folds only the extreme low tail).
+func TestSketchCollapse(t *testing.T) {
+	s := NewSketch(0)
+	// Span vastly more than sketchMaxBuckets buckets: 1e-9 .. 1e60.
+	for e := -9; e <= 60; e++ {
+		s.Add(math.Pow(10, float64(e)))
+	}
+	if len(s.buckets) > sketchMaxBuckets {
+		t.Fatalf("bucket window %d exceeds bound %d", len(s.buckets), sketchMaxBuckets)
+	}
+	if got := s.Percentile(100); got != math.Pow(10, 60) {
+		t.Errorf("p100 = %v", got)
+	}
+	// p90 of 70 samples is around 1e53; must stay within relative alpha.
+	got := s.Percentile(90)
+	rank := 0.9 * 69
+	lo := math.Pow(10, float64(-9+int(math.Floor(rank)))) * (1 - s.Alpha())
+	hi := math.Pow(10, float64(-9+int(math.Ceil(rank)))) * (1 + s.Alpha())
+	if got < lo || got > hi {
+		t.Errorf("p90 after collapse = %v outside [%v, %v]", got, lo, hi)
+	}
+}
+
+func BenchmarkSketchAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = math.Exp(rng.NormFloat64()*1.5 + 3)
+	}
+	s := NewSketch(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(xs[i&4095])
+	}
+}
+
+func BenchmarkSketchPercentile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSketch(0)
+	for i := 0; i < 100000; i++ {
+		s.Add(math.Exp(rng.NormFloat64()*1.5 + 3))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Percentile(99)
+	}
+}
+
+func BenchmarkSketchMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() *Sketch {
+		s := NewSketch(0)
+		for i := 0; i < 100000; i++ {
+			s.Add(math.Exp(rng.NormFloat64()*1.5 + 3))
+		}
+		return s
+	}
+	x, y := mk(), mk()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := NewSketch(0)
+		acc.Merge(x)
+		acc.Merge(y)
+	}
+}

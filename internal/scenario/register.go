@@ -110,6 +110,12 @@ func init() {
 		Run:   serveDisagg,
 	})
 	Register(Scenario{
+		Name:  "serve-planetary",
+		Title: "Planetary serving: 1M+ diurnal requests over 8 regional cells x 3 JSQ replicas, streamed metric sketches, two priority tiers (Llama3-70B TP=8)",
+		Slow:  true,
+		Run:   servePlanetary,
+	})
+	Register(Scenario{
 		Name:  "serve-overload",
 		Title: "Overload: paged KV + recompute/swap preemption vs whole-request reservation at 2x load, two priority tiers (Llama3-70B TP=8)",
 		Run:   serveOverload,

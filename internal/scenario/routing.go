@@ -31,6 +31,7 @@ func routedReplica(ar func(int64) sim.Duration) serve.Config {
 		MaxBatch:        24,
 		KVCapacityBytes: 4 << 30,
 		ChunkTokens:     512,
+		Metrics:         serve.MetricsExact,
 	}
 }
 

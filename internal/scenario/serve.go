@@ -76,6 +76,7 @@ func serveLlama70B(r *Report) error {
 			MaxBatch:        32,
 			KVCapacityBytes: 4 << 30,
 			ChunkTokens:     512,
+			Metrics:         serve.MetricsExact,
 		}, wl)
 		if err != nil {
 			errs[i] = err
@@ -111,6 +112,7 @@ func serveDeepSeek(r *Report) error {
 			MaxBatch:        32,
 			KVCapacityBytes: 1 << 30,
 			ChunkTokens:     512,
+			Metrics:         serve.MetricsExact,
 		}
 	}
 	// ~2.7 req/s average either way: steady, or 1 req/s base with 8 req/s
@@ -183,6 +185,7 @@ func serveRateSweep(r *Report) error {
 			MaxBatch:        32,
 			KVCapacityBytes: 4 << 30,
 			ChunkTokens:     512,
+			Metrics:         serve.MetricsExact,
 		}, wl)
 		if err != nil {
 			errs[i] = err

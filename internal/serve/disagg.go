@@ -285,6 +285,9 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if err := checkDrained(append(append([]*Scheduler{}, pre...), dec...)...); err != nil {
+		return nil, err
+	}
 
 	out.PerPrefill = make([]*Result, nP)
 	for i, s := range pre {
@@ -295,7 +298,7 @@ func RunDisaggregated(dc DisaggConfig, wl Workload) (*DisaggResult, error) {
 		out.PerDecode[j] = s.Result()
 	}
 	all := append(append([]*Result{}, out.PerPrefill...), out.PerDecode...)
-	all = append(all, &Result{PerRequest: rejected, Rejected: len(rejected)})
+	all = append(all, rejectedPart(c, rejected))
 	out.Merged = MergeResults(all...)
 	if out.Handoffs > 0 {
 		out.HandoffMeanNs /= sim.Duration(out.Handoffs)

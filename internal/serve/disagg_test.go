@@ -185,6 +185,7 @@ func TestDisaggDeterministicReplay(t *testing.T) {
 				MaxBatch:        16,
 				KVCapacityBytes: 2 << 30,
 				ChunkTokens:     512,
+				Metrics:         MetricsExact,
 			},
 		}, Poisson(2028, 200, 16, LogNormalLen(384, 0.6, 1024), LogNormalLen(48, 0.5, 128)))
 		if err != nil {

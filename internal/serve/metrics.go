@@ -8,6 +8,7 @@ package serve
 // configurations so pre-paging goldens stay byte-identical.
 
 import (
+	"fmt"
 	"sort"
 
 	"mscclpp/internal/benchkit"
@@ -94,12 +95,21 @@ type PreemptEvent struct {
 	SwapCostNs      sim.Duration `json:"swap_cost_ns"`
 }
 
-// Result is the outcome of one serving simulation.
+// Result is the outcome of one serving simulation. Under the default
+// MetricsStream mode PerRequest stays empty and Stream carries the
+// bounded-memory accumulators; under MetricsExact, Stream is nil and
+// PerRequest holds every row (the pre-streaming behavior, and the JSON
+// schema is unchanged — Stream never marshals).
 type Result struct {
 	Workload   string           `json:"workload"`
 	PerRequest []RequestMetrics `json:"per_request"`
 	Makespan   sim.Duration     `json:"makespan_ns"` // first arrival to last completion
 	Iterations int              `json:"iterations"`  // engine iterations executed
+
+	// Stream is the bounded-memory metric state (MetricsStream mode only;
+	// nil under MetricsExact). It is process-local state, not part of the
+	// canonical result encoding.
+	Stream *StreamStats `json:"-"`
 
 	// Paged-KV accounting (all zero, and omitted from JSON, under
 	// KVReserve): Preemptions = Recomputes + Swaps counts evictions,
@@ -124,8 +134,15 @@ type Result struct {
 // Summarize over a merge equals Summarize over the pooled samples, which
 // is the invariant the router's cross-replica aggregation depends on. Nil
 // parts are skipped; the merged workload name is the first non-empty one.
+//
+// Streaming parts (Result.Stream non-nil) merge without touching any
+// per-request data: tier counters add and the quantile sketches merge
+// bucket-wise, so pooling a million-request cluster copies no rows. All
+// parts must be in the same metrics mode (mixing exact and streaming
+// parts panics — the pooled summary would silently drop samples).
 func MergeResults(parts ...*Result) *Result {
 	out := &Result{}
+	streamParts, exactParts := 0, 0
 	for _, p := range parts {
 		if p == nil {
 			continue
@@ -140,16 +157,34 @@ func MergeResults(parts ...*Result) *Result {
 		out.SwapBytes += p.SwapBytes
 		out.Rejected += p.Rejected
 		out.Preempts = append(out.Preempts, p.Preempts...)
+		if p.Stream != nil {
+			streamParts++
+			if out.Stream == nil {
+				out.Stream = newStreamStats(p.Stream.slo, p.Stream.tierSLOs)
+			}
+			out.Stream.merge(p.Stream)
+			continue
+		}
+		exactParts++
 		out.PerRequest = append(out.PerRequest, p.PerRequest...)
 	}
-	sort.SliceStable(out.PerRequest, func(i, j int) bool {
-		return out.PerRequest[i].ID < out.PerRequest[j].ID
-	})
+	if streamParts > 0 && exactParts > 0 {
+		panic(fmt.Sprintf("serve: MergeResults mixing %d streaming and %d exact parts", streamParts, exactParts))
+	}
 	sort.SliceStable(out.Preempts, func(i, j int) bool {
 		if out.Preempts[i].TimeNs != out.Preempts[j].TimeNs {
 			return out.Preempts[i].TimeNs < out.Preempts[j].TimeNs
 		}
 		return out.Preempts[i].RequestID < out.Preempts[j].RequestID
+	})
+	if out.Stream != nil {
+		if out.Stream.hasSpan {
+			out.Makespan = out.Stream.lastDone - out.Stream.firstArr
+		}
+		return out
+	}
+	sort.SliceStable(out.PerRequest, func(i, j int) bool {
+		return out.PerRequest[i].ID < out.PerRequest[j].ID
 	})
 	first := true
 	var minArr sim.Time
@@ -242,8 +277,15 @@ type Summary struct {
 }
 
 // Summarize aggregates a Result under a single SLO applied to every
-// request.
+// request. On a streaming Result (MetricsStream) the SLO verdicts were
+// already taken at completion time, so slo must equal Config.SLO (and the
+// config must not have per-tier overrides); pass the same objectives or
+// retain rows with MetricsExact.
 func (r *Result) Summarize(slo SLO) Summary {
+	if r.Stream != nil {
+		r.Stream.check(slo, nil)
+		return r.Stream.summary(r, false)
+	}
 	return r.summarize(func(int) SLO { return slo }, false)
 }
 
@@ -254,6 +296,10 @@ func (r *Result) Summarize(slo SLO) Summary {
 // tier to a tight TTFT bound while batch traffic is judged against a
 // looser one.
 func (r *Result) SummarizeTiered(fallback SLO, tiers map[int]SLO) Summary {
+	if r.Stream != nil {
+		r.Stream.check(fallback, tiers)
+		return r.Stream.summary(r, true)
+	}
 	sloFor := func(p int) SLO {
 		if s, ok := tiers[p]; ok {
 			return s

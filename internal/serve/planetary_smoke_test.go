@@ -1,0 +1,92 @@
+//go:build slow
+
+package serve
+
+// The planetary memory gate: a 200k-request cell (the serve-planetary
+// scenario's cell geometry at reduced request count) must complete with
+// bounded retained memory. The budget is bytes retained on the Go heap
+// per offered request after the run — the workload itself is released,
+// so what remains is the result: streamed per-tier sketches and
+// counters, which are constant-size in the request count. Reintroducing
+// any per-request retention (a RequestMetrics row is 100+ bytes, and
+// slice growth roughly doubles that) blows the budget by an order of
+// magnitude, which is exactly the regression this test exists to catch.
+
+import (
+	"runtime"
+	"testing"
+
+	"mscclpp/internal/inference"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
+)
+
+const (
+	smokeRequests = 200_000
+	// smokeBudgetBytesPerReq pins the retained-heap budget. Measured
+	// steady state is ~0 B/request (the stream state is constant-size;
+	// GC jitter can even make the delta negative); 32 B/request leaves
+	// room for allocator noise while sitting far below the ~100 B/request
+	// a row-retention regression costs.
+	smokeBudgetBytesPerReq = 32.0
+)
+
+func TestPlanetarySmokeMemory(t *testing.T) {
+	envFn := func() *topology.Env { return topology.A100_80G(1) }
+	timer := inference.NewARTimer(envFn, inference.LibMSCCLPP)
+	slo := SLO{MaxTTFT: 2 * sim.Second, MaxTPOT: 100 * sim.Millisecond}
+	tierSLOs := map[int]SLO{1: {MaxTTFT: 20 * sim.Second, MaxTPOT: 400 * sim.Millisecond}}
+	cfg := Config{
+		Env:             envFn(),
+		Model:           inference.Llama3x70B(8),
+		AR:              timer.Time,
+		MaxBatch:        32,
+		KVCapacityBytes: 4 << 30,
+		ChunkTokens:     512,
+		Metrics:         MetricsStream,
+		SLO:             slo,
+		TierSLOs:        tierSLOs,
+	}
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	// The workload lives only inside this closure: after it returns, the
+	// 200k Request rows are garbage and the post-run GC reclaims them,
+	// leaving the merged streaming result as the only per-run retention.
+	res := func() *RoutedResult {
+		wl := Diurnal(4242, smokeRequests, 24, 0.25, 2*3600*sim.Second,
+			LogNormalLen(384, 0.6, 1024), LogNormalLen(48, 0.5, 128))
+		wl = WithPriorities(wl, 4243, 0.7)
+		r, err := RunRouted(RouterConfig{Replicas: 3, Policy: NewJSQ(), Replica: cfg}, wl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}()
+
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+
+	s := res.Merged.SummarizeTiered(slo, tierSLOs)
+	if s.Requests != smokeRequests {
+		t.Fatalf("completed %d requests, want %d", s.Requests, smokeRequests)
+	}
+	if len(res.Merged.PerRequest) != 0 {
+		t.Fatalf("streaming run retained %d per-request rows", len(res.Merged.PerRequest))
+	}
+	if s.SLOAttainment <= 0 || s.TTFTp99ms <= 0 {
+		t.Fatalf("degenerate summary: %+v", s)
+	}
+
+	retained := int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	perReq := float64(retained) / smokeRequests
+	t.Logf("retained %d B over %d requests = %.2f B/request (budget %.0f), ttft p99 %.1f ms, slo %.3f",
+		retained, smokeRequests, perReq, smokeBudgetBytesPerReq, s.TTFTp99ms, s.SLOAttainment)
+	if perReq > smokeBudgetBytesPerReq {
+		t.Errorf("retained %.2f B/request exceeds the %.0f B/request budget — did per-request retention sneak back in?",
+			perReq, smokeBudgetBytesPerReq)
+	}
+}

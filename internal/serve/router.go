@@ -57,7 +57,7 @@ func RunRouted(rc RouterConfig, wl Workload) (*RoutedResult, error) {
 	if pol == nil {
 		pol = NewRoundRobin()
 	}
-	_, admitted, rejected, err := prepare(rc.Replica, wl)
+	c, admitted, rejected, err := prepare(rc.Replica, wl)
 	if err != nil {
 		return nil, err
 	}
@@ -98,16 +98,36 @@ func RunRouted(rc RouterConfig, wl Workload) (*RoutedResult, error) {
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if err := checkDrained(replicas...); err != nil {
+		return nil, err
+	}
 
 	out := &RoutedResult{Policy: pol.Name(), PerReplica: make([]*Result, len(replicas))}
 	for i, s := range replicas {
 		out.PerReplica[i] = s.Result()
 	}
 	// Requests no replica could ever admit were filtered by prepare; merge
-	// them in as a synthetic rejected-rows part so the cluster view keeps
-	// one record per offered request.
-	parts := append(append([]*Result{}, out.PerReplica...), &Result{PerRequest: rejected, Rejected: len(rejected)})
+	// them in as a synthetic rejected part (rows or streamed counters,
+	// matching the metrics mode) so the cluster view keeps one record per
+	// offered request.
+	parts := append(append([]*Result{}, out.PerReplica...), rejectedPart(c, rejected))
 	out.Merged = MergeResults(parts...)
 	out.Merged.Workload = wl.Name
 	return out, nil
+}
+
+// rejectedPart wraps prepare's up-front rejections as a mergeable Result
+// in the configured metrics mode: exact rows under MetricsExact, streamed
+// per-tier rejection counters under MetricsStream.
+func rejectedPart(c Config, rejected []RequestMetrics) *Result {
+	r := &Result{Rejected: len(rejected)}
+	if c.Metrics == MetricsExact {
+		r.PerRequest = rejected
+		return r
+	}
+	r.Stream = newStreamStats(c.SLO, c.TierSLOs)
+	for _, m := range rejected {
+		r.Stream.addRejected(m.Priority)
+	}
+	return r
 }

@@ -273,6 +273,7 @@ func TestRoutedDeterministicReplay(t *testing.T) {
 			MaxBatch:        16,
 			KVCapacityBytes: 2 << 30,
 			ChunkTokens:     512,
+			Metrics:         MetricsExact,
 		}
 		wl := Poisson(2027, 300, 20, LogNormalLen(384, 0.6, 1024), LogNormalLen(48, 0.5, 128))
 		res, err := RunRouted(RouterConfig{Replicas: 3, Policy: NewJSQ(), Replica: cfg}, wl)

@@ -133,7 +133,37 @@ type Config struct {
 	// class per AgingNs of queueing delay, bounding starvation under
 	// strict priority. Zero (default) disables aging.
 	AgingNs sim.Duration
+
+	// Metrics selects streaming (bounded-memory, the default) or exact
+	// (full per-request row) metric recording. See MetricsMode.
+	Metrics MetricsMode
+	// SLO is the objective completions are judged against at completion
+	// time under MetricsStream; TierSLOs optionally overrides it per
+	// priority class. Both are ignored under MetricsExact (rows allow
+	// post-hoc judging under any SLO).
+	SLO      SLO
+	TierSLOs map[int]SLO
+
+	// Driver selects how the replica's scheduling loop executes on the
+	// engine. See DriverMode; the default is the callback driver.
+	Driver DriverMode
 }
+
+// DriverMode selects the execution style of a replica's scheduling loop.
+type DriverMode int
+
+// Driver modes. DriverCallback is the zero value.
+const (
+	// DriverCallback runs the scheduler as engine event callbacks: every
+	// iteration boundary is a scheduled event, with no goroutine behind
+	// the replica. This removes the park/resume hand-off that dominates a
+	// drained engine's cost and is the default.
+	DriverCallback DriverMode = iota
+	// DriverProc runs the scheduler as a blocking sim.Proc, the original
+	// execution style. It is retained as the reference implementation the
+	// callback driver's timing-equivalence tests compare against.
+	DriverProc
+)
 
 func (c *Config) withDefaults() Config {
 	out := *c
@@ -179,6 +209,10 @@ func (c *Config) validate() error {
 		return fmt.Errorf("serve: Admission = %d", c.Admission)
 	case c.AgingNs < 0:
 		return fmt.Errorf("serve: AgingNs = %d", c.AgingNs)
+	case c.Metrics != MetricsStream && c.Metrics != MetricsExact:
+		return fmt.Errorf("serve: Metrics = %d", c.Metrics)
+	case c.Driver != DriverCallback && c.Driver != DriverProc:
+		return fmt.Errorf("serve: Driver = %d", c.Driver)
 	}
 	return nil
 }
@@ -351,9 +385,41 @@ type Scheduler struct {
 	prefixSeen map[uint64]bool
 
 	res      *Result
+	stream   *StreamStats // bounded-memory recording; nil under MetricsExact
 	hasReq   bool
 	firstArr sim.Time
 	lastDone sim.Time
+
+	// Callback-driver state (DriverCallback). The scheduler is a state
+	// machine over engine events instead of a parked goroutine: drvIdle
+	// and drvStalled are the two parked states the Proc driver expresses
+	// as Cond waits, drvRunning covers a priced iteration in flight, and
+	// drvDone is the drained terminal state.
+	state  drvState
+	kicked bool // a wake event is already scheduled at the current instant
+
+	// Iteration plan, reused across iterations (allocation-free steady
+	// state): formIteration fills these, completeIteration applies them.
+	prefills  []prefillShare
+	decoders  []*reqState
+	decodeCtx int64
+	chunkTok  int
+}
+
+// drvState is the callback driver's state machine (see Scheduler fields).
+type drvState int
+
+const (
+	drvIdle    drvState = iota // waiting for arrivals/admissibility
+	drvStalled                 // every resident decoder stalled on KV frees
+	drvRunning                 // an iteration's completion event is scheduled
+	drvDone                    // closed and fully drained
+)
+
+// prefillShare is one request's token share of a chunked-prefill budget.
+type prefillShare struct {
+	rs  *reqState
+	tok int
 }
 
 // NewScheduler attaches a new replica to eng and spawns its scheduler
@@ -382,6 +448,10 @@ func newScheduler(eng *sim.Engine, name string, cfg Config, ro role) (*Scheduler
 		prefixSeen: make(map[uint64]bool),
 		res:        &Result{},
 	}
+	if c.Metrics == MetricsStream {
+		s.stream = newStreamStats(c.SLO, c.TierSLOs)
+		s.res.Stream = s.stream
+	}
 	if c.KVPolicy == KVPaged {
 		pager, err := NewKVPager(c.KVCapacityBytes, c.BlockTokens, c.Model.KVBytesPerTokenPerGPU)
 		if err != nil {
@@ -390,7 +460,9 @@ func newScheduler(eng *sim.Engine, name string, cfg Config, ro role) (*Scheduler
 		s.pager = pager
 		s.swapper = NewKVSwapper(c.Env)
 	}
-	eng.Spawn(name, s.loop)
+	if c.Driver == DriverProc {
+		eng.Spawn(name, s.loop)
+	}
 	return s, nil
 }
 
@@ -423,7 +495,7 @@ func (s *Scheduler) Submit(req Request) {
 	}
 	s.waiting = append(s.waiting, &reqState{req: req, seq: s.seq})
 	s.seq++
-	s.arrived.Broadcast()
+	s.notify()
 }
 
 // Prefilled is a request whose prompt processing finished on a prefill
@@ -486,7 +558,7 @@ func (s *Scheduler) SubmitPrefilled(pr Prefilled) {
 		handoffDur:   pr.HandoffDur,
 	})
 	s.seq++
-	s.arrived.Broadcast()
+	s.notify()
 }
 
 // kvNeed is the KV-cache reservation KVReserve admission takes for a
@@ -506,7 +578,7 @@ func (s *Scheduler) kvNeed(r Request) int64 {
 // so admission re-checks the freed budget.
 func (s *Scheduler) releaseKV(bytes int64) {
 	s.kvUsed -= bytes
-	s.arrived.Broadcast()
+	s.notify()
 }
 
 // ensureBlocks grows rs's paged allocation until it covers tokens,
@@ -530,7 +602,7 @@ func (s *Scheduler) freeBlocks(rs *reqState) {
 		s.pager.Free(int(b))
 	}
 	rs.blocks = rs.blocks[:0]
-	s.arrived.Broadcast()
+	s.notify()
 }
 
 // admitTokens is the KV footprint (in tokens) admission must cover before
@@ -625,7 +697,7 @@ func (s *Scheduler) transit() int { return s.swapIn + s.swapOut }
 // after the last Submit.
 func (s *Scheduler) Close() {
 	s.closed = true
-	s.arrived.Broadcast()
+	s.notify()
 }
 
 // InFlightTokens is the replica's outstanding work: prompt + output tokens
@@ -660,28 +732,148 @@ func (s *Scheduler) HasPrefix(group uint64) bool { return s.prefixSeen[group] }
 // drained (every submitted request finished and Close was called).
 func (s *Scheduler) Result() *Result { return s.res }
 
-// loop is the scheduler process body: admit, form a batch, price it,
-// sleep, apply effects; park when idle; exit when closed and drained.
+// notify wakes the scheduling loop after a state change that may unblock
+// it: an arrival, a KV release, a landed swap. Under DriverProc it is a
+// Cond broadcast; under DriverCallback it schedules a same-instant wake
+// event with the same dedup discipline (at most one pending wake, no-op
+// while the loop is mid-iteration or done — exactly the cases where the
+// Proc driver's cond has no waiter).
+func (s *Scheduler) notify() {
+	if s.cfg.Driver == DriverProc {
+		s.arrived.Broadcast()
+		return
+	}
+	if s.kicked || s.state == drvRunning || s.state == drvDone {
+		return
+	}
+	s.kicked = true
+	s.eng.At(s.eng.Now(), s.onKick)
+}
+
+// onKick is the callback driver's wake event: re-evaluate the parked
+// state's predicate (the same predicates the Proc driver hands to
+// Cond.Wait) and resume driving if it holds.
+func (s *Scheduler) onKick() {
+	s.kicked = false
+	switch s.state {
+	case drvIdle:
+		if s.wakePred() {
+			s.drive()
+		}
+	case drvStalled:
+		if s.stallPred() {
+			s.drive()
+		}
+	}
+}
+
+// wakePred is the idle-parking predicate: something resident, an
+// admissible candidate, or closed-and-drained (time to exit).
+func (s *Scheduler) wakePred() bool {
+	return len(s.active) > 0 || s.nextAdmissible() ||
+		(s.closed && len(s.waiting) == 0 && s.transit() == 0)
+}
+
+// stallPred is the stalled-parking predicate: blocks came free, or every
+// in-flight swap landed (so stalls can be re-resolved either way).
+func (s *Scheduler) stallPred() bool {
+	return s.pager.FreeBlocks() > 0 || s.transit() == 0
+}
+
+// drained reports the exit condition: closed with nothing resident,
+// queued or in transit.
+func (s *Scheduler) drained() bool {
+	return len(s.active) == 0 && len(s.waiting) == 0 && s.transit() == 0
+}
+
+// finish records the terminal state once the replica has drained.
+func (s *Scheduler) finish() {
+	s.state = drvDone
+	if s.hasReq {
+		s.res.Makespan = s.lastDone - s.firstArr
+	}
+}
+
+// Done reports whether the replica has fully drained (Close called, every
+// request completed, no transfers in flight). The drivers check it after
+// the engine drains — the callback scheduler's replacement for the
+// blocked-Proc deadlock detection.
+func (s *Scheduler) Done() bool { return s.state == drvDone }
+
+// drive is the callback driver's scheduling loop: the exact decision
+// sequence of the Proc driver's loop/iterate, with the two Cond waits
+// replaced by parked states and the iteration sleep replaced by a
+// scheduled completion event (iterEnd). It runs inside an engine event
+// (a wake kick or an iteration completion) and returns whenever the
+// replica parks, starts a priced iteration, or exits.
+func (s *Scheduler) drive() {
+	s.state = drvRunning
+	for {
+		if len(s.active) == 0 {
+			if !s.wakePred() {
+				s.state = drvIdle
+				return
+			}
+			if s.drained() {
+				s.finish()
+				return
+			}
+		}
+		now := s.eng.Now()
+		dur, verdict := s.formIteration(now)
+		switch verdict {
+		case iterIdle:
+			continue
+		case iterStalled:
+			if !s.stallPred() {
+				s.state = drvStalled
+				return
+			}
+			continue
+		}
+		s.eng.At(now+dur, s.iterEnd)
+		return
+	}
+}
+
+// iterEnd is the completion event of a priced iteration: apply its
+// effects at the completion time, then continue driving.
+func (s *Scheduler) iterEnd() {
+	s.completeIteration(s.eng.Now())
+	s.drive()
+}
+
+// loop is the DriverProc scheduler process body: admit, form a batch,
+// price it, sleep, apply effects; park when idle; exit when closed and
+// drained. It shares formIteration/completeIteration with the callback
+// driver — the only difference is how the loop blocks.
 func (s *Scheduler) loop(p *sim.Proc) {
 	for {
 		if len(s.active) == 0 {
 			// Park until something can make progress: a swap-in landed in
 			// the batch, the next admission candidate fits, or the stream
 			// is closed and fully drained (including swap transit).
-			p.Wait(s.arrived, "waiting for arrivals", func() bool {
-				return len(s.active) > 0 || s.nextAdmissible() ||
-					(s.closed && len(s.waiting) == 0 && s.transit() == 0)
-			})
-			if len(s.active) == 0 && len(s.waiting) == 0 && s.transit() == 0 {
+			p.Wait(s.arrived, "waiting for arrivals", s.wakePred)
+			if s.drained() {
 				// Pred held with nothing resident: closed and fully drained.
 				break
 			}
 		}
-		s.iterate(p)
+		dur, verdict := s.formIteration(p.Now())
+		switch verdict {
+		case iterIdle:
+			continue
+		case iterStalled:
+			// Every resident decoder is stalled on KV frees still in
+			// flight; park until a swap-out lands rather than spinning
+			// empty iterations at the scheduler overhead.
+			p.Wait(s.arrived, "stalled on kv frees", s.stallPred)
+			continue
+		}
+		p.Sleep(dur)
+		s.completeIteration(p.Now())
 	}
-	if s.hasReq {
-		s.res.Makespan = s.lastDone - s.firstArr
-	}
+	s.finish()
 }
 
 // moreImportant orders resident requests for victim selection: strict
@@ -765,7 +957,7 @@ func (s *Scheduler) preempt(rs *reqState, now sim.Time) bool {
 		s.freeSoon -= len(rs.blocks)
 		s.freeBlocks(rs)
 		s.waiting = append(s.waiting, rs)
-		s.arrived.Broadcast()
+		s.notify()
 	})
 	return false
 }
@@ -784,8 +976,7 @@ func (s *Scheduler) preempt(rs *reqState, now sim.Time) bool {
 // preempted or stalled; the caller must then skip new admission so the
 // blocks coming free go to resident decoders, not to re-admitting the
 // victims that just vacated them.
-func (s *Scheduler) growDecoders(p *sim.Proc) bool {
-	now := p.Now()
+func (s *Scheduler) growDecoders(now sim.Time) bool {
 	order := make([]*reqState, len(s.active))
 	copy(order, s.active)
 	sort.SliceStable(order, func(i, j int) bool { return s.moreImportant(order[i], order[j], now) })
@@ -846,12 +1037,23 @@ func (s *Scheduler) growDecoders(p *sim.Proc) bool {
 	return len(evicted) > 0 || stalls > 0
 }
 
-// iterate runs one engine iteration: admission, paged growth/preemption,
-// batch formation, pricing, and effect application at the iteration's
-// completion time.
-func (s *Scheduler) iterate(p *sim.Proc) {
+// iterVerdict is formIteration's outcome: run a priced iteration, or one
+// of the two park conditions the drivers express differently.
+type iterVerdict int
+
+const (
+	iterRun     iterVerdict = iota // a priced batch formed; sleep dur, then complete
+	iterIdle                       // growth evicted everything; park for arrivals
+	iterStalled                    // all residents stalled on in-flight KV frees
+)
+
+// formIteration runs one iteration's decision phase at `now`: admission,
+// paged growth/preemption, batch formation and pricing. The formed plan
+// (prefill shares, decoders) is stored on the Scheduler for
+// completeIteration to apply; the returned duration is only meaningful
+// for iterRun.
+func (s *Scheduler) formIteration(now sim.Time) (sim.Duration, iterVerdict) {
 	c := &s.cfg
-	now := p.Now()
 
 	// Paged growth runs before admission: every decoder's next-token block
 	// must exist before the batch is formed, and resident decoders outrank
@@ -861,7 +1063,7 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	// thrash in place instead of letting the batch shrink and drain.
 	disturbed := false
 	if s.pager != nil && len(s.active) > 0 {
-		disturbed = s.growDecoders(p)
+		disturbed = s.growDecoders(now)
 	}
 
 	// Admission: the configured order while the batch bound and the KV
@@ -926,15 +1128,12 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 
 	// Form the iteration: a chunked-prefill token budget spread FIFO
 	// over admitted-but-unprefilled requests, plus one decode token
-	// for every running sequence.
+	// for every running sequence. The plan slices are reused across
+	// iterations, so steady-state batch formation allocates nothing.
 	chunkLeft := c.ChunkTokens
-	type prefillShare struct {
-		rs  *reqState
-		tok int
-	}
-	var prefills []prefillShare
-	var decoders []*reqState
-	var decodeCtx int64
+	s.prefills = s.prefills[:0]
+	s.decoders = s.decoders[:0]
+	s.decodeCtx = 0
 	for _, rs := range s.active {
 		if rs.prefillDone < rs.prompt() {
 			if chunkLeft > 0 {
@@ -942,47 +1141,49 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 				if tok > chunkLeft {
 					tok = chunkLeft
 				}
-				prefills = append(prefills, prefillShare{rs, tok})
+				s.prefills = append(s.prefills, prefillShare{rs, tok})
 				chunkLeft -= tok
 			}
 		} else if rs.generated < rs.req.OutputLen && !rs.stalled {
-			decoders = append(decoders, rs)
-			decodeCtx += int64(rs.prompt() + rs.generated - rs.replay)
+			s.decoders = append(s.decoders, rs)
+			s.decodeCtx += int64(rs.prompt() + rs.generated - rs.replay)
 		}
 	}
 
-	if len(prefills) == 0 && len(decoders) == 0 {
+	if len(s.prefills) == 0 && len(s.decoders) == 0 {
 		if len(s.active) == 0 {
-			// Growth evicted everything; loop() parks until the evictions
-			// land or new work arrives.
-			return
+			// Growth evicted everything; the driver parks until the
+			// evictions land or new work arrives.
+			return 0, iterIdle
 		}
 		// Every resident decoder is stalled on KV frees still in flight;
-		// park until a swap-out lands rather than spinning empty
-		// iterations at the scheduler overhead.
-		p.Wait(s.arrived, "stalled on kv frees", func() bool {
-			return s.pager.FreeBlocks() > 0 || s.transit() == 0
-		})
-		return
+		// the driver parks until a swap-out lands rather than spinning
+		// empty iterations at the scheduler overhead.
+		return 0, iterStalled
 	}
 
 	// Price the iteration. Prefill and decode execute back to back
 	// within one engine step (the non-fused form of chunked prefill);
 	// each side pays its own roofline + TP-communication cost.
 	dur := c.SchedOverhead
-	chunkTok := c.ChunkTokens - chunkLeft
-	if chunkTok > 0 {
-		dur += inference.PrefillStep(c.Env, c.Model, 1, chunkTok, c.AR)
+	s.chunkTok = c.ChunkTokens - chunkLeft
+	if s.chunkTok > 0 {
+		dur += inference.PrefillStep(c.Env, c.Model, 1, s.chunkTok, c.AR)
 	}
-	if len(decoders) > 0 {
-		dur += inference.DecodeStepCtx(c.Env, c.Model, len(decoders), decodeCtx, c.AR)
+	if len(s.decoders) > 0 {
+		dur += inference.DecodeStepCtx(c.Env, c.Model, len(s.decoders), s.decodeCtx, c.AR)
 	}
-	p.Sleep(dur)
-	end := p.Now()
+	return dur, iterRun
+}
+
+// completeIteration applies a formed iteration's effects at its completion
+// time `end`: prefill progress, token emission, handoffs, completions and
+// batch compaction.
+func (s *Scheduler) completeIteration(end sim.Time) {
 	s.res.Iterations++
 
 	// Apply the iteration's effects at its completion time.
-	for _, ps := range prefills {
+	for _, ps := range s.prefills {
 		ps.rs.prefillDone += ps.tok
 		s.inflight -= int64(ps.tok)
 		if ps.rs.prefillDone == ps.rs.prompt() {
@@ -1007,7 +1208,7 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 			}
 		}
 	}
-	for _, rs := range decoders {
+	for _, rs := range s.decoders {
 		rs.generated++
 		s.inflight--
 	}
@@ -1046,7 +1247,7 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 				s.kvUsed -= rs.kvReserved
 			}
 			s.lastDone = end
-			s.res.PerRequest = append(s.res.PerRequest, RequestMetrics{
+			s.record(RequestMetrics{
 				ID:             rs.req.ID,
 				PromptLen:      rs.req.PromptLen,
 				OutputLen:      rs.req.OutputLen,
@@ -1069,6 +1270,17 @@ func (s *Scheduler) iterate(p *sim.Proc) {
 	s.active = keep
 }
 
+// record captures one completed request's lifecycle row: retained under
+// MetricsExact, folded into the streaming accumulators (and discarded)
+// under MetricsStream.
+func (s *Scheduler) record(m RequestMetrics) {
+	if s.stream != nil {
+		s.stream.observe(m)
+		return
+	}
+	s.res.PerRequest = append(s.res.PerRequest, m)
+}
+
 // swapInStart begins paging a re-admitted victim's resident KV back onto
 // the replica. Its blocks are already allocated; the request rejoins the
 // running batch when the last lane's transfer lands.
@@ -1083,7 +1295,7 @@ func (s *Scheduler) swapInStart(rs *reqState, now sim.Time) {
 		s.swapIn--
 		rs.swapped = false
 		s.active = append(s.active, rs)
-		s.arrived.Broadcast()
+		s.notify()
 	})
 }
 
@@ -1094,7 +1306,7 @@ func (s *Scheduler) swapInStart(rs *reqState, now sim.Time) {
 // recorded as Rejected rows (appended after the completed requests)
 // instead of failing the run.
 func Run(cfg Config, wl Workload) (*Result, error) {
-	_, admitted, rejected, err := prepare(cfg, wl)
+	c, admitted, rejected, err := prepare(cfg, wl)
 	if err != nil {
 		return nil, err
 	}
@@ -1105,7 +1317,9 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 		return nil, err
 	}
 	s.res.Workload = wl.Name
-	s.res.PerRequest = make([]RequestMetrics, 0, len(admitted.Requests))
+	if c.Metrics == MetricsExact {
+		s.res.PerRequest = make([]RequestMetrics, 0, len(admitted.Requests))
+	}
 	var last sim.Time
 	for _, r := range admitted.Requests {
 		req := r
@@ -1118,8 +1332,33 @@ func Run(cfg Config, wl Workload) (*Result, error) {
 	if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	if err := checkDrained(s); err != nil {
+		return nil, err
+	}
 	res := s.Result()
 	res.Rejected += len(rejected)
-	res.PerRequest = append(res.PerRequest, rejected...)
+	if s.stream != nil {
+		for _, m := range rejected {
+			s.stream.addRejected(m.Priority)
+		}
+	} else {
+		res.PerRequest = append(res.PerRequest, rejected...)
+	}
 	return res, nil
+}
+
+// checkDrained verifies every scheduler exited cleanly once the engine
+// drained. Under DriverProc a stuck replica surfaces as the engine's
+// blocked-Proc DeadlockError; the callback driver has no goroutine to
+// detect, so the drivers assert the terminal state explicitly instead.
+func checkDrained(ss ...*Scheduler) error {
+	for _, s := range ss {
+		if s.cfg.Driver == DriverProc || s.Done() {
+			continue
+		}
+		return fmt.Errorf("serve: engine drained but a scheduler never finished "+
+			"(%d active, %d waiting, %d in transit, closed=%v)",
+			len(s.active), len(s.waiting), s.transit(), s.closed)
+	}
+	return nil
 }

@@ -19,9 +19,10 @@ func fakeAR(msg int64) sim.Duration {
 
 func testConfig() Config {
 	return Config{
-		Env:   topology.A100_80G(1),
-		Model: inference.Llama3x70B(8),
-		AR:    fakeAR,
+		Env:     topology.A100_80G(1),
+		Model:   inference.Llama3x70B(8),
+		AR:      fakeAR,
+		Metrics: MetricsExact,
 	}
 }
 
@@ -287,6 +288,7 @@ func TestDeterministicReplay(t *testing.T) {
 			MaxBatch:        16,
 			KVCapacityBytes: 2 << 30,
 			ChunkTokens:     512,
+			Metrics:         MetricsExact,
 		}
 		wl := Poisson(2026, 220, 12, LogNormalLen(384, 0.6, 1024), LogNormalLen(48, 0.5, 128))
 		res, err := Run(cfg, wl)
