@@ -1,0 +1,146 @@
+package main
+
+// Counter-report views: planviz can render the machine-readable record a
+// scenario emits (paperbench -run <name> -json > record.json) instead of a
+// DSL plan. -counters draws per-group utilization bars from the "where did
+// the time go" counter reports; -roofline draws the decode roofline from
+// the calibrate-roofline metrics (peak, memory bandwidth, per-batch
+// arithmetic intensity and achieved FLOP rate).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mscclpp/internal/benchkit"
+)
+
+// loadRecord reads one canonical benchkit.Record JSON file (the byte format
+// of the committed goldens and of paperbench -json).
+func loadRecord(path string) (*benchkit.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec benchkit.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// renderRecord loads a record file and feeds it to one of the record views.
+func renderRecord(w io.Writer, path string, view func(io.Writer, *benchkit.Record) error) error {
+	rec, err := loadRecord(path)
+	if err != nil {
+		return err
+	}
+	return view(w, rec)
+}
+
+// bar renders a fixed-width ASCII gauge of frac in [0, 1].
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac*float64(width) + 0.5)
+	return strings.Repeat("#", n) + strings.Repeat(".", width-n)
+}
+
+// renderCounters draws every counter report in the record as a utilization
+// view: one gauge per resource group, busy fraction over the report's
+// elapsed virtual-time span, with the aggregate reservation count and the
+// deepest queue observed.
+func renderCounters(w io.Writer, rec *benchkit.Record) error {
+	if len(rec.Counters) == 0 {
+		return fmt.Errorf("record %q has no counter reports (run a scenario that emits them, e.g. calibrate-*)", rec.Name)
+	}
+	for _, cr := range rec.Counters {
+		fmt.Fprintf(w, "%s (elapsed %.3f ms)\n", cr.Title, float64(cr.ElapsedNs)/1e6)
+		for _, g := range cr.Groups {
+			u := benchkit.Utilization(g, cr.ElapsedNs)
+			t := benchkit.GroupTotals(g)
+			fmt.Fprintf(w, "  %-10s [%s] %5.1f%%  %3d res %9d reserves  maxq %d\n",
+				g.Name, bar(u, 30), 100*u, len(g.Stats), t.Reservations, t.MaxQueueDepth)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// rooflineBszRe matches the per-batch metrics calibrate-roofline records.
+var rooflineBszRe = regexp.MustCompile(`^roofline bsz=(\d+) (intensity|achieved)$`)
+
+// renderRoofline draws the decode roofline from a record's metrics: the
+// compute and memory ceilings, the ridge point, and per batch size the
+// arithmetic intensity, the ceiling it faces, and how much of that ceiling
+// the simulated decode step achieved.
+func renderRoofline(w io.Writer, rec *benchkit.Record) error {
+	var peak, membw float64
+	type pt struct{ intensity, achieved float64 }
+	pts := map[int]*pt{}
+	for _, m := range rec.Metrics {
+		switch m.Name {
+		case "roofline peak":
+			peak = m.Value
+		case "roofline membw":
+			membw = m.Value
+		default:
+			g := rooflineBszRe.FindStringSubmatch(m.Name)
+			if g == nil {
+				continue
+			}
+			bsz, err := strconv.Atoi(g[1])
+			if err != nil {
+				continue
+			}
+			p := pts[bsz]
+			if p == nil {
+				p = &pt{}
+				pts[bsz] = p
+			}
+			if g[2] == "intensity" {
+				p.intensity = m.Value
+			} else {
+				p.achieved = m.Value
+			}
+		}
+	}
+	if peak <= 0 || membw <= 0 || len(pts) == 0 {
+		return fmt.Errorf("record %q has no roofline metrics (run: paperbench -run calibrate-roofline -json)", rec.Name)
+	}
+	order := make([]int, 0, len(pts))
+	for bsz := range pts {
+		order = append(order, bsz)
+	}
+	sort.Ints(order)
+	ridge := peak / membw
+	fmt.Fprintf(w, "roofline: peak %.0f GFLOP/s, mem %.0f GB/s, ridge %.1f FLOP/B\n", peak, membw, ridge)
+	fmt.Fprintf(w, "%6s %10s %12s %12s  achieved/ceiling\n", "bsz", "FLOP/B", "ceiling", "achieved")
+	for _, bsz := range order {
+		p := pts[bsz]
+		ceiling := peak
+		if c := p.intensity * membw; c < ceiling {
+			ceiling = c
+		}
+		bound := "comp"
+		if p.intensity < ridge {
+			bound = "mem"
+		}
+		frac := 0.0
+		if ceiling > 0 {
+			frac = p.achieved / ceiling
+		}
+		fmt.Fprintf(w, "%6d %10.1f %12.0f %12.0f  [%s] %5.1f%% %s\n",
+			bsz, p.intensity, ceiling, p.achieved, bar(frac, 30), 100*frac, bound)
+	}
+	return nil
+}

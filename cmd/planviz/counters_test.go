@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mscclpp/internal/benchkit"
+	"mscclpp/internal/sim"
+)
+
+// TestRenderCounters checks the utilization view structurally against a
+// synthetic record: one line per group, gauge widths proportional to the
+// busy fraction over the report's elapsed span, and the aggregate counts.
+func TestRenderCounters(t *testing.T) {
+	a, b := sim.NewResource("a"), sim.NewResource("b")
+	a.Reserve(0, 50)
+	a.Reserve(0, 50) // queues behind the first: busy 100, maxq 2
+	b.Reserve(0, 25)
+	rec := &benchkit.Record{Name: "synthetic"}
+	rec.AddCounters("phase one", 100, []sim.CounterGroup{sim.Group("gpu", a), sim.Group("kv", b)})
+
+	var buf bytes.Buffer
+	if err := renderCounters(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "phase one (elapsed 0.000 ms)") {
+		t.Errorf("missing report header in:\n%s", out)
+	}
+	wantGauges := map[string]int{"gpu": 30, "kv": 8} // 100% and 25% of width 30
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		want, ok := wantGauges[fields[0]]
+		if !ok {
+			continue
+		}
+		delete(wantGauges, fields[0])
+		if got := strings.Count(line, "#"); got != want {
+			t.Errorf("group %s gauge has %d ticks, want %d: %q", fields[0], got, want, line)
+		}
+	}
+	if len(wantGauges) != 0 {
+		t.Errorf("groups %v missing from:\n%s", wantGauges, out)
+	}
+	if !strings.Contains(out, "maxq 2") {
+		t.Errorf("gpu row does not report the queue pile-up:\n%s", out)
+	}
+
+	if err := renderCounters(&buf, &benchkit.Record{Name: "empty"}); err == nil {
+		t.Error("want error for a record with no counter reports")
+	}
+}
+
+// TestRenderRoofline checks the roofline view against synthetic metrics:
+// rows appear in ascending batch order, the ceiling switches from the
+// memory slope to the compute roof at the ridge point, and records without
+// roofline metrics are rejected.
+func TestRenderRoofline(t *testing.T) {
+	rec := &benchkit.Record{Name: "synthetic"}
+	rec.AddMetric("roofline peak", "GFLOP/s", 1000)
+	rec.AddMetric("roofline membw", "GB/s", 100) // ridge at 10 FLOP/B
+	cells := []struct {
+		bsz                 int
+		intensity, achieved float64
+		wantCeiling         float64
+		wantBound           string
+	}{
+		{1, 1, 90, 100, "mem"},
+		{4, 4, 380, 400, "mem"},
+		{16, 16, 950, 1000, "comp"},
+	}
+	for _, c := range cells {
+		rec.AddMetric(fmt.Sprintf("roofline bsz=%d intensity", c.bsz), "FLOP/B", c.intensity)
+		rec.AddMetric(fmt.Sprintf("roofline bsz=%d achieved", c.bsz), "GFLOP/s", c.achieved)
+	}
+
+	var buf bytes.Buffer
+	if err := renderRoofline(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ridge 10.0 FLOP/B") {
+		t.Errorf("missing ridge point in:\n%s", out)
+	}
+	var rows []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "[") {
+			rows = append(rows, line)
+		}
+	}
+	if len(rows) != len(cells) {
+		t.Fatalf("got %d roofline rows, want %d:\n%s", len(rows), len(cells), out)
+	}
+	for i, c := range cells {
+		fields := strings.Fields(rows[i])
+		if fields[0] != fmt.Sprint(c.bsz) {
+			t.Errorf("row %d is for bsz %s, want %d (rows must sort ascending)", i, fields[0], c.bsz)
+		}
+		if fields[2] != fmt.Sprintf("%.0f", c.wantCeiling) {
+			t.Errorf("bsz %d ceiling %s, want %.0f", c.bsz, fields[2], c.wantCeiling)
+		}
+		if !strings.HasSuffix(rows[i], c.wantBound) {
+			t.Errorf("bsz %d row not labeled %q: %q", c.bsz, c.wantBound, rows[i])
+		}
+	}
+
+	if err := renderRoofline(&buf, &benchkit.Record{Name: "empty"}); err == nil {
+		t.Error("want error for a record with no roofline metrics")
+	}
+}
+
+// TestRenderRecordLoads checks the file-loading path end to end: a record
+// encoded in the canonical golden byte format loads and renders, and a
+// missing file surfaces the error.
+func TestRenderRecordLoads(t *testing.T) {
+	rec := &benchkit.Record{Name: "roundtrip"}
+	r := sim.NewResource("r")
+	r.Reserve(0, 10)
+	rec.AddCounters("io", 20, []sim.CounterGroup{sim.Group("g", r)})
+	var enc bytes.Buffer
+	if err := rec.Encode(&enc); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "rec.json")
+	if err := os.WriteFile(path, enc.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := renderRecord(&buf, path, renderCounters); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "io (elapsed") {
+		t.Errorf("rendered output missing the report: %q", buf.String())
+	}
+	if err := renderRecord(&buf, filepath.Join(t.TempDir(), "absent.json"), renderCounters); err == nil {
+		t.Error("want error for a missing record file")
+	}
+}

@@ -1,10 +1,17 @@
 // Command planviz lowers a bundled DSL program and prints its execution
 // plan — either a human-readable summary or the full JSON the DSL Executor
-// interprets.
+// interprets. It can also render the machine-readable record a scenario
+// emits: a utilization view of its resource counter reports, or the decode
+// roofline from the calibrate-roofline metrics.
 //
 // Usage:
 //
 //	planviz -program 1pa|2pahb|ringrs -ranks 8 -size 65536 [-tb 2] [-json]
+//	planviz -counters record.json   # utilization bars per counter report
+//	planviz -roofline record.json   # decode roofline from calibrate-roofline
+//
+// where record.json is `paperbench -run <name> -json` output (or a
+// committed golden under internal/scenario/testdata/golden).
 package main
 
 import (
@@ -24,10 +31,23 @@ func main() {
 	size := flag.Int64("size", 64<<10, "buffer size in bytes")
 	tb := flag.Int("tb", 2, "thread blocks per rank (1pa/2pahb)")
 	asJSON := flag.Bool("json", false, "dump full JSON plan")
+	counters := flag.String("counters", "", "render utilization bars from a scenario record JSON file")
+	roofline := flag.String("roofline", "", "render the decode roofline from a scenario record JSON file")
 	flag.Parse()
 
-	if err := render(os.Stdout, *program, *ranks, *size, *tb, *asJSON); err != nil {
-		log.Fatal(err)
+	switch {
+	case *counters != "":
+		if err := renderRecord(os.Stdout, *counters, renderCounters); err != nil {
+			log.Fatal(err)
+		}
+	case *roofline != "":
+		if err := renderRecord(os.Stdout, *roofline, renderRoofline); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		if err := render(os.Stdout, *program, *ranks, *size, *tb, *asJSON); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

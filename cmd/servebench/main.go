@@ -35,6 +35,14 @@
 // counters after the merged summary:
 //
 //	servebench -replicas 2 -requests 400 -rate 40 -kv-bytes 1073741824 -preempt auto -priority-split 0.3
+//
+// -counters (also ad-hoc mode) appends one "where did the time go"
+// resource-counter report per replica after the summaries: gpu occupancy
+// (reservations = priced iterations, busy = compute+comm, idle = stall and
+// park time) and, when paged preemption swapped, the per-GPU kv-swap lane
+// counters:
+//
+//	servebench -replicas 2 -requests 400 -rate 40 -counters
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"os"
 	"strings"
 
+	"mscclpp/internal/benchkit"
 	"mscclpp/internal/inference"
 	"mscclpp/internal/scenario"
 	"mscclpp/internal/serve"
@@ -74,6 +83,7 @@ func main() {
 	kvBytes := flag.Int64("kv-bytes", 0, "ad-hoc mode: per-replica KV capacity in bytes (0 = the 4 GiB default); shrink it to provoke queueing and preemption")
 	prioritySplit := flag.Float64("priority-split", -1, "ad-hoc mode: fraction of requests in the interactive tier (priority 0), the rest batch (priority 1); negative = single tier")
 	preempt := flag.String("preempt", "", "ad-hoc mode: run block-granular paged KV with this preemption policy (recompute|swap|auto); empty = whole-footprint reservation")
+	counters := flag.Bool("counters", false, "ad-hoc mode: print each replica's resource-counter report (gpu occupancy, kv-swap lanes) after the summaries")
 	flag.Parse()
 
 	adhocFlagsSet, prefillSet := false, false
@@ -83,7 +93,7 @@ func main() {
 			prefillSet = true
 			adhocFlagsSet = true
 		case "replicas", "policy", "requests", "rate", "seed", "disagg",
-			"kv-bytes", "priority-split", "preempt":
+			"kv-bytes", "priority-split", "preempt", "counters":
 			adhocFlagsSet = true
 		}
 	})
@@ -130,14 +140,14 @@ func main() {
 			if *prefillReplicas < 1 || *prefillReplicas >= *replicas {
 				log.Fatalf("-disagg needs 1 <= -prefill-replicas < -replicas (got %d of %d)", *prefillReplicas, *replicas)
 			}
-			err = runAdhocDisagg(cfg, *prefillReplicas, *replicas-*prefillReplicas, *policy, wl, *rate, tiered)
+			err = runAdhocDisagg(cfg, *prefillReplicas, *replicas-*prefillReplicas, *policy, wl, *rate, tiered, *counters)
 		} else {
 			if prefillSet {
 				// Same fail-fast rule as the registry/ad-hoc split: refuse
 				// the flag rather than silently ignoring it.
 				log.Fatal("-prefill-replicas only applies with -disagg")
 			}
-			err = runAdhoc(cfg, *replicas, *policy, wl, *rate, tiered)
+			err = runAdhoc(cfg, *replicas, *policy, wl, *rate, tiered, *counters)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -213,9 +223,15 @@ func printOverload(res *serve.Result, tiered bool) {
 	}
 }
 
+// printCounters renders one replica's resource-counter report over its
+// makespan (the span Summarize also rates goodput against).
+func printCounters(title string, res *serve.Result) {
+	benchkit.PrintCounterReport(os.Stdout, title, res.Makespan, res.Counters)
+}
+
 // runAdhoc replays one seeded Poisson workload through a routed
 // multi-replica cluster and prints the merged and per-replica summaries.
-func runAdhoc(cfg serve.Config, replicas int, policy string, wl serve.Workload, rate float64, tiered bool) error {
+func runAdhoc(cfg serve.Config, replicas int, policy string, wl serve.Workload, rate float64, tiered, counters bool) error {
 	pol, err := serve.PolicyByName(policy)
 	if err != nil {
 		return err
@@ -240,6 +256,11 @@ func runAdhoc(cfg serve.Config, replicas int, policy string, wl serve.Workload, 
 		fmt.Printf("  replica %d: %4d requests, ttft p99 %8.1f ms, %d iterations\n",
 			i, ps.Requests, ps.TTFTp99ms, ps.Iterations)
 	}
+	if counters {
+		for i, pr := range res.PerReplica {
+			printCounters(fmt.Sprintf("replica %d", i), pr)
+		}
+	}
 	return nil
 }
 
@@ -247,7 +268,7 @@ func runAdhoc(cfg serve.Config, replicas int, policy string, wl serve.Workload, 
 // disaggregated prefill/decode deployment (both pools routed by the named
 // policy) and prints the merged summary plus the KV-handoff accounting
 // and per-pool breakdown.
-func runAdhocDisagg(cfg serve.Config, prefill, decode int, policy string, wl serve.Workload, rate float64, tiered bool) error {
+func runAdhocDisagg(cfg serve.Config, prefill, decode int, policy string, wl serve.Workload, rate float64, tiered, counters bool) error {
 	// Policies are stateful; each pool needs its own fresh instance.
 	ppol, err := serve.PolicyByName(policy)
 	if err != nil {
@@ -284,6 +305,14 @@ func runAdhocDisagg(cfg serve.Config, prefill, decode int, policy string, wl ser
 		ps := pr.Summarize(slo)
 		fmt.Printf("  decode %d: %4d requests, tpot p99 %6.1f ms, %d iterations\n",
 			j, ps.Requests, ps.TPOTp99ms, ps.Iterations)
+	}
+	if counters {
+		for i, pr := range res.PerPrefill {
+			printCounters(fmt.Sprintf("prefill %d", i), pr)
+		}
+		for j, pr := range res.PerDecode {
+			printCounters(fmt.Sprintf("decode %d", j), pr)
+		}
 	}
 	return nil
 }

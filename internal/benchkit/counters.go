@@ -1,0 +1,60 @@
+package benchkit
+
+// The "where did the time go" rendering of resource counter reports: every
+// simulation layer that owns sim.Resources (fabric ports, DMA engines,
+// RDMA NICs, serve replicas' gpu/kv-swap lanes, MoE all-to-all paths)
+// registers them as named sim.CounterGroups, and PrintCounterReport folds
+// each group into one aggregate row — reservations, busy time, utilization
+// against the report's elapsed span, queue delay, idle gaps, max depth.
+// All inputs are exact virtual-time integers, so the rendering is
+// deterministic and golden-safe.
+
+import (
+	"fmt"
+	"io"
+
+	"mscclpp/internal/sim"
+)
+
+// GroupTotals aggregates one counter group: reservations, busy, queue
+// delay and idle sum across members; MaxQueueDepth is the deepest member's.
+func GroupTotals(g sim.CounterGroup) sim.ResourceStats {
+	t := sim.ResourceStats{Name: g.Name}
+	for _, s := range g.Stats {
+		t.Reservations += s.Reservations
+		t.BusyNs += s.BusyNs
+		t.QueueDelayNs += s.QueueDelayNs
+		t.IdleNs += s.IdleNs
+		if s.MaxQueueDepth > t.MaxQueueDepth {
+			t.MaxQueueDepth = s.MaxQueueDepth
+		}
+	}
+	return t
+}
+
+// Utilization returns the group's mean busy fraction over an elapsed span:
+// total busy time divided by member count times elapsed. Zero when the
+// span or the group is empty.
+func Utilization(g sim.CounterGroup, elapsed sim.Duration) float64 {
+	if elapsed <= 0 || len(g.Stats) == 0 {
+		return 0
+	}
+	return float64(GroupTotals(g).BusyNs) / (float64(elapsed) * float64(len(g.Stats)))
+}
+
+// PrintCounterReport renders one counter report: a header naming the
+// report and its elapsed virtual-time span, then one aggregate row per
+// group. Groups with zero reservations are printed too — a resource class
+// that never fired is itself a calibration signal.
+func PrintCounterReport(w io.Writer, title string, elapsed sim.Duration, groups []sim.CounterGroup) {
+	fmt.Fprintf(w, "\n%s — where did the time go (elapsed %.3f ms)\n", title, float64(elapsed)/1e6)
+	fmt.Fprintf(w, "  %-10s %4s %9s %12s %7s %12s %12s %5s\n",
+		"group", "res", "reserves", "busy(ms)", "util%", "qdelay(ms)", "idle(ms)", "maxq")
+	for _, g := range groups {
+		t := GroupTotals(g)
+		fmt.Fprintf(w, "  %-10s %4d %9d %12.3f %6.1f%% %12.3f %12.3f %5d\n",
+			g.Name, len(g.Stats), t.Reservations,
+			float64(t.BusyNs)/1e6, 100*Utilization(g, elapsed),
+			float64(t.QueueDelayNs)/1e6, float64(t.IdleNs)/1e6, t.MaxQueueDepth)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"mscclpp/internal/sim"
 )
 
 // Metric is one named scalar result (a speedup, a bandwidth, an exact
@@ -30,15 +32,26 @@ type TableRecord struct {
 	Series []Series `json:"series"`
 }
 
+// CounterRecord is the machine-readable twin of one printed resource
+// counter report ("where did the time go"): the named counter groups a
+// simulation layer registered, snapshot at elapsed ns of virtual time.
+// cmd/planviz renders utilization and roofline views from these.
+type CounterRecord struct {
+	Title     string             `json:"title"`
+	ElapsedNs sim.Duration       `json:"elapsed_ns"`
+	Groups    []sim.CounterGroup `json:"groups"`
+}
+
 // Record is the canonical machine-readable result of one scenario run.
-// Tables and Metrics appear in emission order, which is deterministic for
-// deterministic scenarios. The zero value is usable; all methods are
-// nil-safe so text-only callers can pass a nil *Record.
+// Tables, Metrics and Counters appear in emission order, which is
+// deterministic for deterministic scenarios. The zero value is usable; all
+// methods are nil-safe so text-only callers can pass a nil *Record.
 type Record struct {
-	Name    string        `json:"name"`
-	Title   string        `json:"title"`
-	Tables  []TableRecord `json:"tables,omitempty"`
-	Metrics []Metric      `json:"metrics,omitempty"`
+	Name     string          `json:"name"`
+	Title    string          `json:"title"`
+	Tables   []TableRecord   `json:"tables,omitempty"`
+	Metrics  []Metric        `json:"metrics,omitempty"`
+	Counters []CounterRecord `json:"counters,omitempty"`
 }
 
 // AddTable appends a table to the record. The series — including each
@@ -66,6 +79,20 @@ func (r *Record) AddMetric(name, unit string, value float64) {
 // AddDuration appends an exact virtual-time duration (ns) as a metric.
 func (r *Record) AddDuration(name string, d int64) {
 	r.AddMetric(name, "ns", float64(d))
+}
+
+// AddCounters appends a resource counter report. The groups — including
+// each Stats slice — are deep-copied so later caller mutations cannot
+// alias into the record.
+func (r *Record) AddCounters(title string, elapsedNs sim.Duration, groups []sim.CounterGroup) {
+	if r == nil {
+		return
+	}
+	cp := make([]sim.CounterGroup, len(groups))
+	for i, g := range groups {
+		cp[i] = sim.CounterGroup{Name: g.Name, Stats: append([]sim.ResourceStats(nil), g.Stats...)}
+	}
+	r.Counters = append(r.Counters, CounterRecord{Title: title, ElapsedNs: elapsedNs, Groups: cp})
 }
 
 // Encode writes the record to w in canonical form: two-space-indented JSON

@@ -1,0 +1,24 @@
+package fabric
+
+// The exported-symbol documentation gate: `go doc mscclpp/internal/fabric`
+// must be self-explanatory — the transfer paths and their counter groups
+// are what the calibrate-* scenarios assert against. CI additionally runs
+// staticcheck's stylecheck comment rules on this package; this test keeps
+// the gate in plain `go test` too.
+
+import (
+	"strings"
+	"testing"
+
+	"mscclpp/internal/doccheck"
+)
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	missing, err := doccheck.Undocumented(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("internal/fabric has undocumented exported symbols:\n  %s", strings.Join(missing, "\n  "))
+	}
+}

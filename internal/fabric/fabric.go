@@ -77,18 +77,11 @@ func (f *Fabric) local(rank int) int { return rank % f.Env.GPUsPerNode }
 func (f *Fabric) SameNode(a, b int) bool { return f.node(a) == f.node(b) }
 
 // reserveJoint books all resources simultaneously for dur ns, starting when
-// the last of them frees up (crossbar-style occupancy).
+// the last of them frees up (crossbar-style occupancy). It is
+// sim.ReserveJoint, which also attributes queue-delay and idle-gap counters
+// per member resource.
 func reserveJoint(now sim.Time, dur sim.Duration, rs ...*sim.Resource) (start, end sim.Time) {
-	start = now
-	for _, r := range rs {
-		if r.FreeAt() > start {
-			start = r.FreeAt()
-		}
-	}
-	for _, r := range rs {
-		r.Reserve(start, dur)
-	}
-	return start, start + dur
+	return sim.ReserveJoint(now, dur, rs...)
 }
 
 // intraPath returns the resources a single intra-node flow src->dst occupies
@@ -229,6 +222,30 @@ func (f *Fabric) SwitchReduceBroadcast(now sim.Time, rank int, size int64, strea
 
 // HasSwitch reports whether switch-mapped I/O is available.
 func (f *Fabric) HasSwitch() bool { return f.switchPipe != nil }
+
+// Counters snapshots every fabric resource's introspection counters,
+// grouped by interconnect role in a fixed order (egress, ingress, xgmi,
+// switch, dma, nicTx, nicRx; absent roles are omitted). This is the
+// fabric's counter registration for per-scenario "where did the time go"
+// reports: utilization, queue delay and max depth per port class.
+func (f *Fabric) Counters() []sim.CounterGroup {
+	groups := []sim.CounterGroup{
+		sim.Group("egress", f.egress...),
+		sim.Group("ingress", f.ingress...),
+		sim.Group("xgmi", f.mesh...),
+		sim.Group("switch", f.switchPipe...),
+		sim.Group("dma", f.dma...),
+		sim.Group("nicTx", f.nicTx...),
+		sim.Group("nicRx", f.nicRx...),
+	}
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g.Stats) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
 
 // Reset returns every resource to idle (between benchmark repetitions run on
 // fresh engines).

@@ -76,6 +76,12 @@ func (m *Machine) Run() error { return m.Engine.Run() }
 // Now returns current virtual time.
 func (m *Machine) Now() sim.Time { return m.Engine.Now() }
 
+// Counters snapshots the cluster's resource introspection counters. All of
+// a machine's contended resources live in its fabric (GPU thread blocks
+// are processes, not occupancy resources), so this is the fabric's
+// registration surfaced at the cluster level.
+func (m *Machine) Counters() []sim.CounterGroup { return m.Fabric.Counters() }
+
 // GPU is one simulated device.
 type GPU struct {
 	Rank  int // global rank

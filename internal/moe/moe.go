@@ -240,5 +240,10 @@ func (e *Engine) Combine(tokens int) (Result, error) {
 	return e.run(tokens, 2, "moe-combine")
 }
 
+// Counters snapshots the all-to-all paths' resource counters: the DMA
+// engines (intra-node puts) and RDMA NICs (cross-node puts) every
+// dispatch/combine kernel occupied, plus the rest of the cluster fabric.
+func (e *Engine) Counters() []sim.CounterGroup { return e.M.Counters() }
+
 // Paper13Env returns the Figure 13 environment (two H100 nodes).
 func Paper13Env() *topology.Env { return topology.H100(2) }

@@ -1,0 +1,481 @@
+package scenario
+
+// The calibrate-* family: first-principles calibration curves for the
+// simulator's transfer paths and the decode roofline, golden-gated like
+// every other scenario but with in-run *shape* assertions layered on top.
+// A golden diff tells you a number moved; these assertions tell you when a
+// number moved in a way that breaks the physics the paper's figures rest
+// on — latency curves must be monotone in size, the half-power knee must
+// sit near bandwidth x latency, DMA must beat a single NIC but lose to the
+// node's aggregated NICs, and the decode-step sweep must cross from
+// memory-bound to compute-bound strictly inside the batch range. The
+// scenarios also exercise the counter-introspection path end to end: each
+// one emits a "where did the time go" report and asserts counter-level
+// facts (queue delay, max depth) that the closed-form timings predict.
+
+import (
+	"fmt"
+
+	"mscclpp/internal/benchkit"
+	"mscclpp/internal/fabric"
+	"mscclpp/internal/inference"
+	"mscclpp/internal/moe"
+	"mscclpp/internal/sim"
+	"mscclpp/internal/timing"
+	"mscclpp/internal/topology"
+)
+
+// calSizes returns the calibration size grid: 1KB to maxSize in x4 steps,
+// coarse enough to keep goldens compact but fine enough to bracket every
+// environment's latency/bandwidth knee within one grid step.
+func calSizes(maxSize int64) []int64 {
+	var out []int64
+	for s := int64(1 << 10); s <= maxSize; s *= 4 {
+		out = append(out, s)
+	}
+	return out
+}
+
+// calMonotone asserts a latency curve never gets faster as messages grow —
+// the most basic sanity property of a store-and-forward transfer model.
+func calMonotone(name string, pts []benchkit.Point) error {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Dur < pts[i-1].Dur {
+			return fmt.Errorf("calibrate property violated: %s latency not monotone: %d B takes %d ns after %d B took %d ns",
+				name, pts[i].Size, pts[i].Dur, pts[i-1].Size, pts[i-1].Dur)
+		}
+	}
+	return nil
+}
+
+// calHalfPower returns the smallest measured size whose achieved bandwidth
+// reaches half the path's asymptotic cap (n1/2 in classic network terms),
+// or -1 if the curve never gets there.
+func calHalfPower(pts []benchkit.Point, capBW float64) int64 {
+	for _, p := range pts {
+		if p.AlgoBW() >= capBW/2 {
+			return p.Size
+		}
+	}
+	return -1
+}
+
+// calGroup finds a named counter group in a fabric snapshot.
+func calGroup(groups []sim.CounterGroup, name string) (sim.CounterGroup, error) {
+	for _, g := range groups {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return sim.CounterGroup{}, fmt.Errorf("calibrate: counter group %q not in fabric snapshot", name)
+}
+
+// calCurve measures one transfer path over the size grid on a shared
+// fabric, advancing the cursor past each completion so successive points
+// never contend (the counters must show zero queue delay afterwards).
+func calCurve(now sim.Time, sizes []int64, xfer func(sim.Time, int64) sim.Time) (sim.Time, []benchkit.Point) {
+	pts := make([]benchkit.Point, 0, len(sizes))
+	for _, s := range sizes {
+		end := xfer(now, s)
+		pts = append(pts, benchkit.Point{Size: s, Dur: end - now})
+		now = end
+	}
+	return now, pts
+}
+
+// calibrateP2P measures the intra-node P2P thread-copy path on a
+// switch-based (H100) and a mesh-based (MI300x) environment: latency floor
+// at small sizes, asymptotic bandwidth against min(streamBW, linkBW), and
+// the half-power knee near capacity x latency.
+func calibrateP2P(r *Report) error {
+	sizes := calSizes(1 << 28)
+	envs := []*topology.Env{topology.H100(1), topology.MI300x(1)}
+	series := make([]benchkit.Series, 0, len(envs))
+	for _, env := range envs {
+		model := timing.Default(env)
+		f := fabric.New(env, model)
+		linkBW := env.PeerBW()
+		streamBW := model.ThreadCopyBW(8, linkBW)
+		capBW := streamBW
+		if linkBW < capBW {
+			capBW = linkBW
+		}
+		now, pts := calCurve(0, sizes, func(t sim.Time, s int64) sim.Time {
+			return f.P2P(t, 0, 1, s, streamBW)
+		})
+		series = append(series, benchkit.Series{Name: env.Name, Points: pts})
+		if err := calMonotone("p2p "+env.Name, pts); err != nil {
+			return err
+		}
+		if floor := 4 * env.IntraLat; pts[0].Dur > floor {
+			return fmt.Errorf("calibrate property violated: p2p %s small-message latency %d ns exceeds 4x link latency %d ns",
+				env.Name, pts[0].Dur, floor)
+		}
+		asym := pts[len(pts)-1].AlgoBW()
+		if asym < 0.93*capBW {
+			return fmt.Errorf("calibrate property violated: p2p %s asymptotic bw %.1f GB/s below 93%% of the %.1f GB/s cap",
+				env.Name, asym, capBW)
+		}
+		knee := int64(capBW * float64(env.IntraLat))
+		half := calHalfPower(pts, capBW)
+		if half < knee/5 || half > 5*knee {
+			return fmt.Errorf("calibrate property violated: p2p %s half-power size %d B not within 5x of the bw x lat knee %d B",
+				env.Name, half, knee)
+		}
+		// The curve ran back to back on one port pair: the counters must
+		// show every reservation admitted without queueing.
+		gname := "egress"
+		if env.IntraMesh {
+			gname = "xgmi"
+		}
+		g, err := calGroup(f.Counters(), gname)
+		if err != nil {
+			return err
+		}
+		t := benchkit.GroupTotals(g)
+		if t.Reservations != uint64(len(sizes)) || t.QueueDelayNs != 0 || t.MaxQueueDepth != 1 {
+			return fmt.Errorf("calibrate property violated: p2p %s %s counters %+v, want %d uncontended reservations",
+				env.Name, gname, t, len(sizes))
+		}
+		r.Metric("p2p "+env.Name+" cap", "GB/s", capBW)
+		r.Metric("p2p "+env.Name+" asymptotic bw", "GB/s", asym)
+		r.Metric("p2p "+env.Name+" half-power size", "B", float64(half))
+		r.Counters("calibrate-p2p "+env.Name+" fabric", int64(now), f.Counters())
+	}
+	r.LatencyTable("Calibration: P2P latency vs size", series)
+	r.BandwidthTable("Calibration: P2P bandwidth vs size", series)
+	return nil
+}
+
+// calibrateXfer compares the three point-to-point transfer paths on a
+// two-node H100 cluster: per-path curves, the small-message latency
+// ordering P2P < DMA < RDMA, asymptotic bandwidth ratios, single-NIC RDMA
+// losing to DMA but the node's aggregated NICs beating it, and exact FIFO
+// serialization (with matching counters) when two flows share a NIC.
+func calibrateXfer(r *Report) error {
+	env := topology.H100(2)
+	model := timing.Default(env)
+	f := fabric.New(env, model)
+	streamBW := model.ThreadCopyBW(8, env.PeerBW())
+	sizes := calSizes(1 << 28)
+	curves := []struct {
+		name string
+		xfer func(sim.Time, int64) sim.Time
+	}{
+		{"p2p", func(t sim.Time, s int64) sim.Time { return f.P2P(t, 0, 1, s, streamBW) }},
+		{"dma", func(t sim.Time, s int64) sim.Time { return f.DMA(t, 0, 1, s) }},
+		{"rdma", func(t sim.Time, s int64) sim.Time { return f.RDMA(t, 0, 8, s) }},
+	}
+	now := sim.Time(0)
+	series := make([]benchkit.Series, len(curves))
+	for i, c := range curves {
+		var pts []benchkit.Point
+		now, pts = calCurve(now, sizes, c.xfer)
+		if err := calMonotone(c.name+" "+env.Name, pts); err != nil {
+			return err
+		}
+		series[i] = benchkit.Series{Name: c.name, Points: pts}
+	}
+	p2p, dma, rdma := series[0].Points, series[1].Points, series[2].Points
+	if !(p2p[0].Dur < dma[0].Dur && dma[0].Dur < rdma[0].Dur) {
+		return fmt.Errorf("calibrate property violated: small-message latency ordering p2p < dma < rdma broken: %d, %d, %d ns",
+			p2p[0].Dur, dma[0].Dur, rdma[0].Dur)
+	}
+	dmaCap := env.DMABW
+	if env.IntraBW < dmaCap {
+		dmaCap = env.IntraBW
+	}
+	dmaAsym := dma[len(dma)-1].AlgoBW()
+	rdmaAsym := rdma[len(rdma)-1].AlgoBW()
+	if dmaAsym < 0.95*dmaCap || rdmaAsym < 0.95*env.IBBW {
+		return fmt.Errorf("calibrate property violated: asymptotes dma %.1f (cap %.1f), rdma %.1f (cap %.1f) GB/s below 95%%",
+			dmaAsym, dmaCap, rdmaAsym, env.IBBW)
+	}
+	ratio, want := dmaAsym/rdmaAsym, dmaCap/env.IBBW
+	if ratio < 0.85*want || ratio > 1.15*want {
+		return fmt.Errorf("calibrate property violated: dma/rdma bandwidth ratio %.2f strays from the configured %.2f", ratio, want)
+	}
+	// Aggregate RDMA: every GPU drives its own NIC to the peer node at
+	// once. A single NIC loses to DMA, but the node's NICs in aggregate
+	// must win — the saturation ordering disaggregation pricing relies on.
+	const flowSize = int64(64 << 20)
+	n := env.TotalGPUs()
+	aggStart, aggEnd := now, now
+	for g := 0; g < n; g++ {
+		if end := f.RDMA(aggStart, g, (g+n/2)%n, flowSize); end > aggEnd {
+			aggEnd = end
+		}
+	}
+	aggBW := float64(n) * float64(flowSize) / float64(aggEnd-aggStart)
+	if !(rdmaAsym < dmaAsym && dmaAsym < aggBW) {
+		return fmt.Errorf("calibrate property violated: saturation ordering single-NIC %.1f < DMA %.1f < aggregate RDMA %.1f GB/s broken",
+			rdmaAsym, dmaAsym, aggBW)
+	}
+	if aggBW < 0.75*float64(n)*env.IBBW {
+		return fmt.Errorf("calibrate property violated: %d-flow aggregate RDMA %.1f GB/s below 75%% of %d NICs", n, aggBW, n)
+	}
+	// Contended NIC: two same-pair flows must serialize FIFO, end to end
+	// exactly one wire time apart, and the counters must record the wait.
+	wire := sim.Duration(timing.XferTime(flowSize, env.IBBW))
+	end1 := f.RDMA(aggEnd, 0, n/2, flowSize)
+	end2 := f.RDMA(aggEnd, 0, n/2, flowSize)
+	if end2-end1 != wire {
+		return fmt.Errorf("calibrate property violated: contended RDMA flows %d ns apart, want one wire time %d ns", end2-end1, wire)
+	}
+	nic, err := calGroup(f.Counters(), "nicTx")
+	if err != nil {
+		return err
+	}
+	if s := nic.Stats[0]; s.QueueDelayNs != wire || s.MaxQueueDepth != 2 {
+		return fmt.Errorf("calibrate property violated: nicTx[0] counters %+v, want queue delay %d ns at depth 2", s, wire)
+	}
+	r.Metric("dma asymptotic bw", "GB/s", dmaAsym)
+	r.Metric("rdma asymptotic bw", "GB/s", rdmaAsym)
+	r.Metric("dma/rdma ratio", "x", ratio)
+	r.Metric("aggregate rdma bw", "GB/s", aggBW)
+	r.Counters("calibrate-xfer "+env.Name+" fabric", int64(end2), f.Counters())
+	r.LatencyTable("Calibration: transfer-path latency vs size (2x H100)", series)
+	r.BandwidthTable("Calibration: transfer-path bandwidth vs size (2x H100)", series)
+	return nil
+}
+
+// calibrateSwitch measures the NVLS switch-mapped paths on one H100 node
+// with enough thread blocks that the SHARP pipeline, not the issuing
+// stream, is the bottleneck: reduce and broadcast curves must coincide
+// (symmetric port shapes), saturate near SwitchBW, and a full-node burst
+// of ld_reduce ops must serialize exactly 8x on the shared egress ports —
+// visible both in completion time and in the egress counters.
+func calibrateSwitch(r *Report) error {
+	env := topology.H100(1)
+	model := timing.Default(env)
+	f := fabric.New(env, model)
+	streamBW := model.ThreadCopyBW(16, env.IntraBW)
+	if streamBW <= env.SwitchBW {
+		return fmt.Errorf("calibrate: 16 thread blocks (%.1f GB/s) no longer saturate the switch (%.1f GB/s)", streamBW, env.SwitchBW)
+	}
+	sizes := calSizes(1 << 28)
+	curves := []struct {
+		name string
+		xfer func(sim.Time, int64) sim.Time
+	}{
+		{"reduce", func(t sim.Time, s int64) sim.Time { return f.SwitchReduce(t, 0, s, streamBW) }},
+		{"bcast", func(t sim.Time, s int64) sim.Time { return f.SwitchBroadcast(t, 0, s, streamBW) }},
+		{"redbcast", func(t sim.Time, s int64) sim.Time { return f.SwitchReduceBroadcast(t, 0, s, streamBW) }},
+	}
+	now := sim.Time(0)
+	series := make([]benchkit.Series, len(curves))
+	for i, c := range curves {
+		var pts []benchkit.Point
+		now, pts = calCurve(now, sizes, c.xfer)
+		if err := calMonotone(c.name+" "+env.Name, pts); err != nil {
+			return err
+		}
+		if floor := 4 * env.SwitchLat; pts[0].Dur > floor {
+			return fmt.Errorf("calibrate property violated: %s small-message latency %d ns exceeds 4x switch latency %d ns",
+				c.name, pts[0].Dur, floor)
+		}
+		if asym := pts[len(pts)-1].AlgoBW(); asym < 0.95*env.SwitchBW {
+			return fmt.Errorf("calibrate property violated: %s asymptotic bw %.1f GB/s below 95%% of SwitchBW %.1f",
+				c.name, asym, env.SwitchBW)
+		}
+		series[i] = benchkit.Series{Name: c.name, Points: pts}
+	}
+	for i, p := range series[0].Points {
+		if q := series[1].Points[i]; p.Dur != q.Dur {
+			return fmt.Errorf("calibrate property violated: reduce (%d ns) and broadcast (%d ns) diverge at %d B despite symmetric port shapes",
+				p.Dur, q.Dur, p.Size)
+		}
+	}
+	// Full-node burst: every rank issues ld_reduce at once. Each op needs
+	// ALL member egress ports jointly, so the burst serializes exactly 8x.
+	const burstSize = int64(64 << 20)
+	wire := sim.Duration(timing.XferTime(burstSize, env.SwitchBW))
+	burstStart, burstEnd := now, now
+	for rank := 0; rank < env.GPUsPerNode; rank++ {
+		if end := f.SwitchReduce(burstStart, rank, burstSize, streamBW); end > burstEnd {
+			burstEnd = end
+		}
+	}
+	nOps := sim.Duration(env.GPUsPerNode)
+	if got := burstEnd - burstStart; got != nOps*wire+env.SwitchLat {
+		return fmt.Errorf("calibrate property violated: %d-rank ld_reduce burst spans %d ns, want exact %dx serialization %d ns",
+			env.GPUsPerNode, got, env.GPUsPerNode, nOps*wire+env.SwitchLat)
+	}
+	eg, err := calGroup(f.Counters(), "egress")
+	if err != nil {
+		return err
+	}
+	wantDelay := wire * nOps * (nOps - 1) / 2 // op k queued k wire times
+	if s := eg.Stats[0]; s.MaxQueueDepth != env.GPUsPerNode || s.QueueDelayNs != wantDelay {
+		return fmt.Errorf("calibrate property violated: egress[0] counters %+v, want depth %d and queue delay %d ns",
+			s, env.GPUsPerNode, wantDelay)
+	}
+	r.Metric("switch serialization factor", "x", float64(burstEnd-burstStart-env.SwitchLat)/float64(wire))
+	r.Counters("calibrate-switch "+env.Name+" fabric", int64(burstEnd), f.Counters())
+	r.LatencyTable("Calibration: switch-path latency vs size (H100 NVLS)", series)
+	r.BandwidthTable("Calibration: switch-path bandwidth vs size (H100 NVLS)", series)
+	return nil
+}
+
+// calibrateRoofline sweeps the decode step over batch size on the paper's
+// Figure 11 setup and audits it against the roofline model computed from
+// first principles in this function: the step must equal
+// max(memT, compT) + comm exactly, achieved FLOP/s must stay under both
+// ceilings, tokens/s must keep improving while memory-bound, and the
+// memory-to-compute crossover must land strictly inside the sweep.
+func calibrateRoofline(r *Report) error {
+	envFn := func() *topology.Env { return topology.A100_80G(1) }
+	env := envFn()
+	m := inference.Llama3x70B(8)
+	timer := inference.NewARTimer(envFn, inference.LibMSCCLPP)
+	const seqlen = 1024
+	peak := env.PeakTFLOPS * 1e3 * m.Efficiency // FLOP/ns == GFLOP/s
+	membw := env.HBMBW * m.Efficiency           // bytes/ns == GB/s
+	r.Metric("roofline peak", "GFLOP/s", peak)
+	r.Metric("roofline membw", "GB/s", membw)
+	r.Printf("Decode roofline: %s TP=8 on %s, seqlen %d (peak %.0f GFLOP/s, mem %.0f GB/s)\n",
+		m.Name, env.Name, seqlen, peak, membw)
+	r.Printf("%6s %12s %10s %12s %14s %6s\n", "bsz", "step(ms)", "tok/s", "FLOP/B", "GFLOP/s", "bound")
+	knee := 0
+	var steps []sim.Duration
+	var tputs []float64
+	var bszs []int
+	for bsz := 1; bsz <= 512; bsz *= 2 {
+		totalCtx := int64(bsz) * seqlen
+		step := inference.DecodeStepCtx(env, m, bsz, totalCtx, timer.Time)
+		memBytes := float64(m.WeightBytesPerGPU) + float64(totalCtx*m.KVBytesPerTokenPerGPU)
+		memT := sim.Duration(memBytes / membw)
+		flops := m.FLOPsPerTokenPerGPU * float64(bsz)
+		compT := sim.Duration(flops / peak)
+		comm := sim.Duration(m.Layers*m.ARsPerLayer) * timer.Time(int64(bsz)*int64(m.Hidden)*2)
+		maxT := memT
+		if compT > maxT {
+			maxT = compT
+		}
+		if step != maxT+comm {
+			return fmt.Errorf("calibrate property violated: decode step bsz=%d is %d ns, closed form says %d + %d", bsz, step, maxT, comm)
+		}
+		bound := "mem"
+		if compT > memT {
+			bound = "comp"
+			if knee == 0 {
+				knee = bsz
+			}
+		}
+		intensity := flops / memBytes
+		achieved := flops / float64(step) // GFLOP/s
+		ceiling := peak
+		if c := intensity * membw; c < ceiling {
+			ceiling = c
+		}
+		if achieved > ceiling*1.0001 {
+			return fmt.Errorf("calibrate property violated: bsz=%d achieves %.0f GFLOP/s above the %.0f roofline ceiling", bsz, achieved, ceiling)
+		}
+		tput := inference.DecodeThroughput(bsz, step)
+		r.Printf("%6d %12.3f %10.0f %12.1f %14.0f %6s\n", bsz, float64(step)/1e6, tput, intensity, achieved, bound)
+		r.Duration(fmt.Sprintf("decode step bsz=%d", bsz), int64(step))
+		r.Metric(fmt.Sprintf("roofline bsz=%d intensity", bsz), "FLOP/B", intensity)
+		r.Metric(fmt.Sprintf("roofline bsz=%d achieved", bsz), "GFLOP/s", achieved)
+		steps = append(steps, step)
+		tputs = append(tputs, tput)
+		bszs = append(bszs, bsz)
+	}
+	if knee <= bszs[0] || knee >= bszs[len(bszs)-1] || knee == 0 {
+		return fmt.Errorf("calibrate property violated: memory-to-compute knee at bsz=%d is not strictly inside the sweep", knee)
+	}
+	var kneeStep sim.Duration
+	for i := range bszs {
+		if i > 0 && steps[i] < steps[i-1] {
+			return fmt.Errorf("calibrate property violated: decode step shrank from bsz=%d to bsz=%d", bszs[i-1], bszs[i])
+		}
+		if i > 0 && bszs[i] <= knee && tputs[i] < tputs[i-1] {
+			return fmt.Errorf("calibrate property violated: tokens/s fell at memory-bound bsz=%d — batching stopped amortizing weight reads", bszs[i])
+		}
+		if bszs[i] == knee {
+			kneeStep = steps[i]
+		}
+	}
+	if last := steps[len(steps)-1]; last < kneeStep*3/2 {
+		return fmt.Errorf("calibrate property violated: compute-bound step grew only %d -> %d ns past the knee", kneeStep, last)
+	}
+	r.Metric("roofline knee bsz", "", float64(knee))
+	return nil
+}
+
+// calibrateSweep is the nightly dense grid: the transfer-path curves of
+// calibrate-xfer replayed on every supported environment (mesh and switch,
+// Ampere through MI300x) with the same shape assertions, plus a MoE
+// all-to-all on both transports audited through the counter reports —
+// dispatch/combine must put real traffic on the NICs, not just elapse time.
+func calibrateSweep(r *Report) error {
+	sizes := calSizes(1 << 28)
+	envs := []*topology.Env{topology.A100_40G(2), topology.A100_80G(2), topology.H100(2), topology.MI300x(2)}
+	for _, env := range envs {
+		model := timing.Default(env)
+		f := fabric.New(env, model)
+		linkBW := env.PeerBW()
+		streamBW := model.ThreadCopyBW(8, linkBW)
+		p2pCap := streamBW
+		if linkBW < p2pCap {
+			p2pCap = linkBW
+		}
+		dmaCap := env.DMABW
+		if linkBW < dmaCap {
+			dmaCap = linkBW
+		}
+		curves := []struct {
+			name  string
+			capBW float64
+			xfer  func(sim.Time, int64) sim.Time
+		}{
+			{"p2p", p2pCap, func(t sim.Time, s int64) sim.Time { return f.P2P(t, 0, 1, s, streamBW) }},
+			{"dma", dmaCap, func(t sim.Time, s int64) sim.Time { return f.DMA(t, 0, 1, s) }},
+			{"rdma", env.IBBW, func(t sim.Time, s int64) sim.Time { return f.RDMA(t, 0, env.TotalGPUs()/2, s) }},
+		}
+		now := sim.Time(0)
+		series := make([]benchkit.Series, len(curves))
+		for i, c := range curves {
+			var pts []benchkit.Point
+			now, pts = calCurve(now, sizes, c.xfer)
+			if err := calMonotone(c.name+" "+env.Name, pts); err != nil {
+				return err
+			}
+			asym := pts[len(pts)-1].AlgoBW()
+			if asym < 0.93*c.capBW {
+				return fmt.Errorf("calibrate property violated: %s %s asymptotic bw %.1f GB/s below 93%% of the %.1f GB/s cap",
+					env.Name, c.name, asym, c.capBW)
+			}
+			r.Metric(fmt.Sprintf("sweep %s %s asymptotic bw", env.Name, c.name), "GB/s", asym)
+			series[i] = benchkit.Series{Name: c.name, Points: pts}
+		}
+		r.BandwidthTable("Calibration sweep: transfer paths on "+env.Name, series)
+		r.Counters("calibrate-sweep "+env.Name+" fabric", int64(now), f.Counters())
+	}
+	const tokens = 4096
+	for _, tr := range []moe.Transport{moe.TransportMSCCLPP, moe.TransportIBGDA} {
+		e, err := moe.New(moe.Paper13Env(), moe.DefaultConfig(), tr)
+		if err != nil {
+			return err
+		}
+		d, err := e.Dispatch(tokens)
+		if err != nil {
+			return err
+		}
+		c, err := e.Combine(tokens)
+		if err != nil {
+			return err
+		}
+		nic, err := calGroup(e.Counters(), "nicTx")
+		if err != nil {
+			return err
+		}
+		if benchkit.GroupTotals(nic).BusyNs == 0 {
+			return fmt.Errorf("calibrate property violated: moe %s all-to-all left the NICs idle — cross-node puts are not priced", tr)
+		}
+		r.Printf("MoE %s: dispatch %.1f GB/s, combine %.1f GB/s over %d tokens\n", tr, d.AlgoBWGBs, c.AlgoBWGBs, tokens)
+		r.Metric(fmt.Sprintf("moe %s dispatch bw", tr), "GB/s", d.AlgoBWGBs)
+		r.Metric(fmt.Sprintf("moe %s combine bw", tr), "GB/s", c.AlgoBWGBs)
+		r.Counters(fmt.Sprintf("calibrate-sweep moe %s", tr), int64(d.Elapsed+c.Elapsed), e.Counters())
+	}
+	return nil
+}

@@ -120,4 +120,30 @@ func init() {
 		Title: "Overload: paged KV + recompute/swap preemption vs whole-request reservation at 2x load, two priority tiers (Llama3-70B TP=8)",
 		Run:   serveOverload,
 	})
+	Register(Scenario{
+		Name:  "calibrate-p2p",
+		Title: "Calibration: P2P latency/bandwidth curves with half-power knee check (H100, MI300x)",
+		Run:   calibrateP2P,
+	})
+	Register(Scenario{
+		Name:  "calibrate-xfer",
+		Title: "Calibration: P2P vs DMA vs RDMA curves, NIC aggregation ordering and contention counters (2x H100)",
+		Run:   calibrateXfer,
+	})
+	Register(Scenario{
+		Name:  "calibrate-switch",
+		Title: "Calibration: NVLS switch reduce/broadcast curves and exact egress serialization under a full-node burst (H100)",
+		Run:   calibrateSwitch,
+	})
+	Register(Scenario{
+		Name:  "calibrate-roofline",
+		Title: "Calibration: decode-step roofline sweep with closed-form knee audit (Llama3-70B TP=8, A100-80G)",
+		Run:   calibrateRoofline,
+	})
+	Register(Scenario{
+		Name:  "calibrate-sweep",
+		Title: "Calibration sweep: transfer curves across all environments plus MoE all-to-all counter audit (nightly)",
+		Slow:  true,
+		Run:   calibrateSweep,
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"mscclpp/internal/benchkit"
+	"mscclpp/internal/sim"
 )
 
 // Report is the dual-view writer a scenario emits through: Printf/Println
@@ -61,6 +62,17 @@ func (r *Report) LatencyTable(title string, series []benchkit.Series) {
 func (r *Report) BandwidthTable(title string, series []benchkit.Series) {
 	benchkit.PrintBandwidthTable(r.w, title, series)
 	r.rec.AddTable("algobw_gbs", title, series)
+}
+
+// Counters renders a resource counter report ("where did the time go" —
+// per-group reservations, busy time, utilization over elapsed, queue
+// delay, idle gaps, max queue depth) and records the raw snapshots. Every
+// scenario may optionally emit one or more of these alongside its existing
+// artifact; pre-counter goldens are unaffected because the record section
+// is omitempty.
+func (r *Report) Counters(title string, elapsed int64, groups []sim.CounterGroup) {
+	benchkit.PrintCounterReport(r.w, title, elapsed, groups)
+	r.rec.AddCounters(title, elapsed, groups)
 }
 
 // Speedup prints the per-size speedup summary of target over base (exact

@@ -165,6 +165,14 @@ func (s *KVSwapper) Transfer(now sim.Time, shardBytes int64) sim.Time {
 	return end
 }
 
+// Counters snapshots the swap lanes' resource counters as one named group:
+// per-lane busy time is swap traffic, queue delay is time swaps spent
+// behind earlier swaps on the same engine, and max depth is the deepest
+// swap pile-up observed.
+func (s *KVSwapper) Counters() sim.CounterGroup {
+	return sim.Group("kvswap", s.lanes...)
+}
+
 // Cost is the closed-form uncontended cost of one swap direction of
 // shardBytes per lane — the quantity the recompute-or-swap crossover
 // compares against the prefill re-run cost (lanes are parallel, so the

@@ -122,6 +122,12 @@ type Result struct {
 	SwapBytes   int64          `json:"swap_bytes,omitempty"`
 	Rejected    int            `json:"rejected,omitempty"`
 	Preempts    []PreemptEvent `json:"preempt_events,omitempty"`
+
+	// Counters is the replica's named resource-counter snapshot (the
+	// observe-only gpu iteration resource, KV-swap lanes when paged) taken
+	// when Result was built. Introspection state, not part of the
+	// canonical result encoding; merges do not pool it.
+	Counters []sim.CounterGroup `json:"-"`
 }
 
 // MergeResults pools per-replica results into one cluster-level Result:

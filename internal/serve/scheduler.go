@@ -365,6 +365,14 @@ type Scheduler struct {
 	pager   *KVPager
 	swapper *KVSwapper
 
+	// gpu is an observe-only occupancy resource tracking the replica's
+	// iteration executions: each priced iteration books [start, start+dur)
+	// at formIteration time, so its counters read as iteration count, busy
+	// (compute+comm) time and inter-iteration idle gaps. It is never part
+	// of any timing decision — iterations are serialized by the driver
+	// state machine, not by this resource.
+	gpu *sim.Resource
+
 	// onPrefilled fires (in engine context, at the iteration end time) when
 	// a rolePrefill replica finishes a request's prompt processing — the
 	// disaggregation driver prices the KV handoff there and calls release
@@ -447,6 +455,7 @@ func newScheduler(eng *sim.Engine, name string, cfg Config, ro role) (*Scheduler
 		arrived:    sim.NewCond(eng),
 		prefixSeen: make(map[uint64]bool),
 		res:        &Result{},
+		gpu:        sim.NewResource(name + "/gpu"),
 	}
 	if c.Metrics == MetricsStream {
 		s.stream = newStreamStats(c.SLO, c.TierSLOs)
@@ -729,8 +738,26 @@ func (s *Scheduler) ActiveRequests() int { return len(s.active) }
 func (s *Scheduler) HasPrefix(group uint64) bool { return s.prefixSeen[group] }
 
 // Result returns the replica's metrics. Only complete after the engine has
-// drained (every submitted request finished and Close was called).
-func (s *Scheduler) Result() *Result { return s.res }
+// drained (every submitted request finished and Close was called). The
+// result carries a fresh Counters snapshot taken at this call.
+func (s *Scheduler) Result() *Result {
+	s.res.Counters = s.Counters()
+	return s.res
+}
+
+// Counters snapshots the replica's named resource counters: the
+// observe-only gpu iteration resource (reservations = priced iterations,
+// busy = compute+comm time, idle = waiting on arrivals or KV frees) and,
+// under paged KV, the per-GPU swap lanes with their queue-delay and depth
+// accounting. This is the serve layer's counter registration for
+// per-scenario "where did the time go" reports.
+func (s *Scheduler) Counters() []sim.CounterGroup {
+	groups := []sim.CounterGroup{sim.Group("gpu", s.gpu)}
+	if s.swapper != nil {
+		groups = append(groups, s.swapper.Counters())
+	}
+	return groups
+}
 
 // notify wakes the scheduling loop after a state change that may unblock
 // it: an arrival, a KV release, a landed swap. Under DriverProc it is a
@@ -1173,6 +1200,10 @@ func (s *Scheduler) formIteration(now sim.Time) (sim.Duration, iterVerdict) {
 	if len(s.decoders) > 0 {
 		dur += inference.DecodeStepCtx(c.Env, c.Model, len(s.decoders), s.decodeCtx, c.AR)
 	}
+	// Book the iteration on the observe-only gpu resource: its counters
+	// become the replica's "where did the time go" row (busy = priced
+	// iterations, idle gaps = waiting on arrivals or KV frees).
+	s.gpu.Reserve(now, dur)
 	return dur, iterRun
 }
 

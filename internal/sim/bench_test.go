@@ -199,3 +199,26 @@ func BenchmarkEngineCondStorm(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "wakes/sec")
 }
+
+// BenchmarkResourceCounters measures Reserve with the full counter set
+// engaged under a contended arrival pattern (two flows per free interval,
+// so queue-delay, depth and idle-gap accounting all run every iteration).
+// The 0 allocs/op result is a CI gate: resource introspection must stay
+// free on the fabric's hot transfer paths.
+func BenchmarkResourceCounters(b *testing.B) {
+	b.ReportAllocs()
+	r := NewResource("bench")
+	joint := NewResource("joint")
+	now := Time(0)
+	for i := 0; i < b.N; i++ {
+		// Two overlapping requests (the second queues), then a gap.
+		r.Reserve(now, 100)
+		r.Reserve(now+40, 100)
+		ReserveJoint(now+60, 50, r, joint)
+		now += 400
+	}
+	if r.Reservations() != uint64(3*b.N) {
+		b.Fatalf("reservations = %d, want %d", r.Reservations(), 3*b.N)
+	}
+	b.ReportMetric(float64(3*b.N)/b.Elapsed().Seconds(), "reserves/sec")
+}

@@ -1,0 +1,24 @@
+package sim
+
+// The exported-symbol documentation gate: `go doc mscclpp/internal/sim`
+// must be self-explanatory — the engine and Resource counters are the
+// introspection surface every layer above builds on. CI additionally runs
+// staticcheck's stylecheck comment rules on this package; this test keeps
+// the gate in plain `go test` too.
+
+import (
+	"strings"
+	"testing"
+
+	"mscclpp/internal/doccheck"
+)
+
+func TestExportedSymbolsDocumented(t *testing.T) {
+	missing, err := doccheck.Undocumented(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) > 0 {
+		t.Fatalf("internal/sim has undocumented exported symbols:\n  %s", strings.Join(missing, "\n  "))
+	}
+}

@@ -369,6 +369,8 @@ type DeadlockError struct {
 	Blocked []string // "name (reason)" for each blocked process
 }
 
+// Error formats the deadlock diagnostic: the drain time and every blocked
+// process with its wait reason.
 func (d *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at t=%dns: %d process(es) blocked: %s",
 		d.Now, len(d.Blocked), strings.Join(d.Blocked, "; "))

@@ -52,13 +52,30 @@ func (s *Semaphore) WaitGE(p *Proc, target uint64) {
 // This is the standard "store-and-forward pipe" contention model: concurrent
 // users serialize, which for fixed total bytes is time-equivalent to fair
 // bandwidth sharing on a single link.
+//
+// Every resource keeps a full set of introspection counters — reservations,
+// busy time, cumulative queue delay, idle gaps, max queue depth — updated
+// on every Reserve/ReserveJoint with no heap allocation in steady state
+// (the pending-reservation window reuses its backing array once warm).
+// Counters are observe-only: they never influence the granted times, so a
+// simulation with and without readers of these counters is bit-identical.
 type Resource struct {
 	Name   string
 	freeAt Time
 
-	// stats
+	// stats (observe-only; see Stats)
 	busy     Duration
 	reserves uint64
+	qdelay   Duration
+	idle     Duration
+	maxDepth int
+	// pend[head:] holds the end times of reservations still pending at the
+	// last Reserve instant — the FIFO window queue depth is measured over.
+	// Ends are non-decreasing (serial FIFO occupancy), so pruning from the
+	// front is exact; the slice is compacted in place whenever it drains,
+	// keeping steady-state Reserve allocation-free.
+	pend []Time
+	head int
 }
 
 // NewResource returns an idle resource.
@@ -74,11 +91,59 @@ func (r *Resource) Reserve(now Time, dur Duration) (start, end Time) {
 	if r.freeAt > start {
 		start = r.freeAt
 	}
-	end = start + dur
+	r.book(now, start, dur)
+	return start, start + dur
+}
+
+// ReserveJoint books all resources simultaneously for dur ns, starting when
+// the last of them frees up (crossbar-style occupancy: a flow holds every
+// port on its path for the same interval). Counter attribution per member:
+// queue delay is the wait that member alone would have imposed on a request
+// at now, and idle gap is the span that member actually sat free before the
+// joint start — so a port that was ready but held up by a busier peer
+// accrues idle time, not queue delay.
+func ReserveJoint(now Time, dur Duration, rs ...*Resource) (start, end Time) {
+	if dur < 0 {
+		dur = 0
+	}
+	start = now
+	for _, r := range rs {
+		if r.freeAt > start {
+			start = r.freeAt
+		}
+	}
+	for _, r := range rs {
+		r.book(now, start, dur)
+	}
+	return start, start + dur
+}
+
+// book commits an occupancy [start, start+dur) requested at now and updates
+// the counters. start must be >= max(now, freeAt).
+func (r *Resource) book(now, start Time, dur Duration) {
+	if w := r.freeAt - now; w > 0 {
+		r.qdelay += w
+	}
+	if r.reserves > 0 && start > r.freeAt {
+		r.idle += start - r.freeAt
+	}
+	// Queue depth at the request instant: reservations whose occupancy has
+	// not ended by now, plus this one.
+	for r.head < len(r.pend) && r.pend[r.head] <= now {
+		r.head++
+	}
+	if r.head == len(r.pend) {
+		r.pend = r.pend[:0]
+		r.head = 0
+	}
+	end := start + dur
+	r.pend = append(r.pend, end)
+	if d := len(r.pend) - r.head; d > r.maxDepth {
+		r.maxDepth = d
+	}
 	r.freeAt = end
 	r.busy += dur
 	r.reserves++
-	return start, end
 }
 
 // FreeAt returns the time at which the resource next becomes idle.
@@ -90,5 +155,85 @@ func (r *Resource) BusyTime() Duration { return r.busy }
 // Reservations returns the number of reservations made.
 func (r *Resource) Reservations() uint64 { return r.reserves }
 
-// Reset returns the resource to idle at time zero, clearing statistics.
-func (r *Resource) Reset() { r.freeAt = 0; r.busy = 0; r.reserves = 0 }
+// QueueDelay returns the cumulative time reservations spent waiting for
+// this resource: the sum over reservations of how long the resource was
+// still busy past each request instant. A joint reservation charges each
+// member only the wait it alone would have imposed.
+func (r *Resource) QueueDelay() Duration { return r.qdelay }
+
+// IdleTime returns the cumulative gap time between occupancies: spans where
+// the resource sat free between the end of one reservation and the start of
+// the next. The span before the first reservation is not counted.
+func (r *Resource) IdleTime() Duration { return r.idle }
+
+// MaxQueueDepth returns the largest number of reservations simultaneously
+// pending at any reservation instant (including the new one); 1 means the
+// resource was never contended, 0 that it was never reserved.
+func (r *Resource) MaxQueueDepth() int { return r.maxDepth }
+
+// Stats returns a snapshot of the resource's counters.
+func (r *Resource) Stats() ResourceStats {
+	return ResourceStats{
+		Name:          r.Name,
+		Reservations:  r.reserves,
+		BusyNs:        r.busy,
+		QueueDelayNs:  r.qdelay,
+		IdleNs:        r.idle,
+		MaxQueueDepth: r.maxDepth,
+	}
+}
+
+// Reset returns the resource to idle at time zero, clearing every counter.
+// A reset resource is indistinguishable from a fresh one (the regression
+// test in resource_test.go holds this to the full observable surface); the
+// pending-window capacity is retained so benchmark repetitions stay
+// allocation-free.
+func (r *Resource) Reset() {
+	r.freeAt = 0
+	r.busy = 0
+	r.reserves = 0
+	r.qdelay = 0
+	r.idle = 0
+	r.maxDepth = 0
+	r.pend = r.pend[:0]
+	r.head = 0
+}
+
+// ResourceStats is a point-in-time snapshot of one Resource's introspection
+// counters, in a JSON-stable form suitable for per-scenario counter reports.
+type ResourceStats struct {
+	// Name is the owning resource's registered name (e.g. "nicTx[3]").
+	Name string `json:"name"`
+	// Reservations counts occupancies granted.
+	Reservations uint64 `json:"reservations"`
+	// BusyNs is the cumulative reserved time.
+	BusyNs Duration `json:"busy_ns"`
+	// QueueDelayNs is the cumulative wait charged to this resource.
+	QueueDelayNs Duration `json:"queue_delay_ns"`
+	// IdleNs is the cumulative gap time between occupancies.
+	IdleNs Duration `json:"idle_ns"`
+	// MaxQueueDepth is the deepest simultaneous pending count observed.
+	MaxQueueDepth int `json:"max_queue_depth"`
+}
+
+// CounterGroup is a named collection of resource counter snapshots — one
+// row of a layer's counter registration (all DMA engines, all NIC send
+// queues, one replica's KV-swap lanes, ...).
+type CounterGroup struct {
+	// Name identifies the group (e.g. "dma", "nicTx", "kvswap").
+	Name string `json:"name"`
+	// Stats holds one snapshot per member resource, in registration order.
+	Stats []ResourceStats `json:"stats"`
+}
+
+// Group snapshots rs into a named CounterGroup, skipping nil members (mesh
+// fabrics leave self-pair slots nil).
+func Group(name string, rs ...*Resource) CounterGroup {
+	g := CounterGroup{Name: name}
+	for _, r := range rs {
+		if r != nil {
+			g.Stats = append(g.Stats, r.Stats())
+		}
+	}
+	return g
+}
