@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	servebench -experiment all|llama70b|deepseek|ratesweep|routing|affinity|disagg
+//	servebench -experiment all|llama70b|deepseek|ratesweep|routing|affinity|disagg|moe
 //
 // Setting any of -replicas/-policy/-requests/-rate/-seed/-disagg/
 // -prefill-replicas instead runs an ad-hoc simulation (Llama3-70B TP=8
@@ -43,6 +43,14 @@
 // counters:
 //
 //	servebench -replicas 2 -requests 400 -rate 40 -counters
+//
+// -moe (also ad-hoc mode) switches the replicas to the expert-parallel
+// DeepSeek-V3 deployment (EP=16 over two H100 nodes, 256 experts top-8,
+// IBGDA all-to-all priced per iteration); -experts overrides the expert
+// count, -imbalance sets the hot-expert skew fraction and -placement
+// uniform|rebalance picks the expert-to-GPU map:
+//
+//	servebench -moe -replicas 1 -requests 200 -rate 3 -imbalance 0.5 -placement rebalance -counters
 package main
 
 import (
@@ -54,6 +62,7 @@ import (
 
 	"mscclpp/internal/benchkit"
 	"mscclpp/internal/inference"
+	"mscclpp/internal/moe"
 	"mscclpp/internal/scenario"
 	"mscclpp/internal/serve"
 	"mscclpp/internal/sim"
@@ -69,10 +78,11 @@ var experiments = []struct{ short, name string }{
 	{"routing", "serve-routing"},
 	{"affinity", "serve-affinity"},
 	{"disagg", "serve-disagg"},
+	{"moe", "serve-moe"},
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "llama70b|deepseek|ratesweep|routing|affinity|disagg|all")
+	exp := flag.String("experiment", "all", "llama70b|deepseek|ratesweep|routing|affinity|disagg|moe|all")
 	replicas := flag.Int("replicas", 3, "ad-hoc mode: number of replica engines (enables ad-hoc routed run)")
 	policy := flag.String("policy", "jsq", "ad-hoc mode: routing policy, or pool policy with -disagg ("+strings.Join(serve.PolicyNames(), "|")+")")
 	requests := flag.Int("requests", 300, "ad-hoc mode: number of requests")
@@ -84,16 +94,23 @@ func main() {
 	prioritySplit := flag.Float64("priority-split", -1, "ad-hoc mode: fraction of requests in the interactive tier (priority 0), the rest batch (priority 1); negative = single tier")
 	preempt := flag.String("preempt", "", "ad-hoc mode: run block-granular paged KV with this preemption policy (recompute|swap|auto); empty = whole-footprint reservation")
 	counters := flag.Bool("counters", false, "ad-hoc mode: print each replica's resource-counter report (gpu occupancy, kv-swap lanes) after the summaries")
+	moeRun := flag.Bool("moe", false, "ad-hoc mode: serve the expert-parallel DeepSeek-V3 deployment (EP=16, 2x H100, IBGDA all-to-all) instead of dense Llama3-70B")
+	experts := flag.Int("experts", 256, "ad-hoc -moe mode: total routed experts (must be divisible by the 16 expert-parallel GPUs)")
+	imbalance := flag.Float64("imbalance", 0, "ad-hoc -moe mode: hot-expert skew fraction in [0, 1] (0 = balanced routing)")
+	placement := flag.String("placement", "uniform", "ad-hoc -moe mode: expert-to-GPU map (uniform|rebalance)")
 	flag.Parse()
 
-	adhocFlagsSet, prefillSet := false, false
+	adhocFlagsSet, prefillSet, moeSubflagSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "prefill-replicas":
 			prefillSet = true
 			adhocFlagsSet = true
+		case "experts", "imbalance", "placement":
+			moeSubflagSet = true
+			adhocFlagsSet = true
 		case "replicas", "policy", "requests", "rate", "seed", "disagg",
-			"kv-bytes", "priority-split", "preempt", "counters":
+			"kv-bytes", "priority-split", "preempt", "counters", "moe":
 			adhocFlagsSet = true
 		}
 	})
@@ -108,6 +125,16 @@ func main() {
 			log.Fatalf("ad-hoc mode needs -requests >= 1, -rate > 0 and -replicas >= 1 (got %d, %g, %d)", *requests, *rate, *replicas)
 		}
 		cfg := adhocReplica()
+		if *moeRun {
+			var err error
+			if cfg, err = adhocMoEReplica(*experts, *imbalance, *placement); err != nil {
+				log.Fatal(err)
+			}
+		} else if moeSubflagSet {
+			// Same fail-fast rule as -prefill-replicas: refuse the flag
+			// rather than silently ignoring it.
+			log.Fatal("-experts/-imbalance/-placement only apply with -moe")
+		}
 		if *kvBytes != 0 {
 			if *kvBytes < 0 {
 				log.Fatalf("-kv-bytes must be positive (got %d)", *kvBytes)
@@ -194,6 +221,42 @@ func adhocReplica() serve.Config {
 	}
 }
 
+// adhocMoEReplica is the -moe ad-hoc replica: the expert-parallel
+// DeepSeek-V3 deployment (EP=16 over two H100 nodes) with the expert
+// count, hot-expert skew and placement taken from the flags. Iterations
+// pay the per-MoE-layer dispatch/combine all-to-all through an EPTimer on
+// the same environment.
+func adhocMoEReplica(experts int, imbalance float64, placement string) (serve.Config, error) {
+	envFn := func() *topology.Env { return topology.H100(2) }
+	model := inference.DeepSeekV3MoE(16)
+	if experts < 1 || experts%envFn().TotalGPUs() != 0 {
+		return serve.Config{}, fmt.Errorf("-experts must be a positive multiple of %d (got %d)", envFn().TotalGPUs(), experts)
+	}
+	if imbalance < 0 || imbalance > 1 {
+		return serve.Config{}, fmt.Errorf("-imbalance must be in [0, 1] (got %g)", imbalance)
+	}
+	model.MoE.Config.Experts = experts
+	model.MoE.Config.Skew = imbalance
+	switch placement {
+	case "uniform":
+		model.MoE.Config.Placement = moe.PlaceUniform
+	case "rebalance":
+		model.MoE.Config.Placement = moe.PlaceRebalance
+	default:
+		return serve.Config{}, fmt.Errorf("-placement must be uniform or rebalance (got %q)", placement)
+	}
+	return serve.Config{
+		Env:             envFn(),
+		Model:           model,
+		AR:              inference.NewARTimer(envFn, inference.LibMSCCLPP).Time,
+		A2A:             inference.NewEPTimer(envFn, model.MoE.Config, model.MoE.Transport).Layer,
+		MaxBatch:        24,
+		KVCapacityBytes: 4 << 30,
+		ChunkTokens:     512,
+		Metrics:         serve.MetricsExact,
+	}, nil
+}
+
 // adhocWorkload is the seeded Poisson request stream of both ad-hoc modes.
 func adhocWorkload(requests int, rate float64, seed uint64) serve.Workload {
 	return serve.Poisson(seed, requests, rate,
@@ -246,8 +309,8 @@ func runAdhoc(cfg serve.Config, replicas int, policy string, wl serve.Workload, 
 	}
 	slo := adhocSLO
 	s := res.Summarize(slo)
-	fmt.Printf("Routed serving: %d requests at %.3g req/s over %d replicas, policy %s (Llama3-70b TP=8, A100-80G, MSCCL++)\n",
-		len(wl.Requests), rate, replicas, res.Policy)
+	fmt.Printf("Routed serving: %d requests at %.3g req/s over %d replicas, policy %s (%s, MSCCL++)\n",
+		len(wl.Requests), rate, replicas, res.Policy, cfg.Model.Name)
 	fmt.Printf("  merged: ttft p50 %.1f ms p99 %.1f ms | tpot p99 %.1f ms | goodput %.0f tok/s | SLO %.1f%%\n",
 		s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment)
 	printOverload(res.Merged, tiered)
@@ -290,8 +353,8 @@ func runAdhocDisagg(cfg serve.Config, prefill, decode int, policy string, wl ser
 	}
 	slo := adhocSLO
 	s := res.Summarize(slo)
-	fmt.Printf("Disaggregated serving: %d requests at %.3g req/s over %dp+%dd replicas, pool policy %s (Llama3-70b TP=8, A100-80G, MSCCL++)\n",
-		len(wl.Requests), rate, prefill, decode, res.PrefillPolicy)
+	fmt.Printf("Disaggregated serving: %d requests at %.3g req/s over %dp+%dd replicas, pool policy %s (%s, MSCCL++)\n",
+		len(wl.Requests), rate, prefill, decode, res.PrefillPolicy, cfg.Model.Name)
 	fmt.Printf("  merged: ttft p50 %.1f ms p99 %.1f ms | tpot p99 %.1f ms | goodput %.0f tok/s | SLO %.1f%%\n",
 		s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment)
 	printOverload(res.Merged, tiered)

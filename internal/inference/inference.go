@@ -201,6 +201,11 @@ type Model struct {
 	// ARsPerLayer is the number of tensor-parallel AllReduces per layer
 	// (post-attention and post-MLP).
 	ARsPerLayer int
+	// MoE, when non-nil, marks the model as expert-parallel: serving
+	// iterations are priced by MoEDecodeStepCtx/MoEPrefillStep (roofline +
+	// per-layer dispatch/combine all-to-all) instead of the dense step
+	// functions. See MoESpec (moe.go).
+	MoE *MoESpec
 }
 
 // KVShardBytes returns the per-GPU KV-cache footprint of tokens context

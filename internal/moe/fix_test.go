@@ -1,0 +1,311 @@
+package moe
+
+// Regression coverage for the two all-to-all correctness fixes:
+//
+//  1. Wait symmetry: a rank's receive-wait loop must be gated on the
+//     peer's bytes toward it (the traffic-matrix column), not on the
+//     rank's own send vector. The old row-gated code deadlocked under
+//     asymmetric traffic (a rank waiting on a peer that never put) and
+//     silently skipped waits for puts that were issued.
+//  2. Remainder conservation: tokens % GPUs used to be dropped, so
+//     BytesMax/AlgoBWGBs underreported for any non-divisible token count.
+//
+// Plus the IBGDA semaphore-expectation lockstep check: repeated
+// Dispatch/Combine sequences must advance every pairwise expectation in
+// step with the traffic matrix and stay bit-identical across runs.
+
+import (
+	"testing"
+
+	"mscclpp/internal/sim"
+	"mscclpp/internal/topology"
+)
+
+// asymCfg routes three single-expert tokens on an 8-GPU node: ranks 0..2
+// own one token each, routed to experts 0, 3 and 6 (rank r's token lands
+// on expert (r*11) mod 8). The send set {1->3, 2->6} has an empty
+// intersection with its transpose, so any confusion between "who I send
+// to" and "who sends to me" either deadlocks or skips a real wait.
+func asymCfg() (Config, int) {
+	return Config{Hidden: 16, TopK: 1, Experts: 8}, 3
+}
+
+// wantAsymWaits is the per-rank wait count the asymCfg traffic matrix
+// implies: rank 3 waits for rank 1's put, rank 6 for rank 2's, nobody else
+// receives remote traffic.
+var wantAsymWaits = []int{0, 0, 0, 1, 0, 0, 1, 0}
+
+// TestAsymmetricWaitsMSCCLPP deadlock-checks the MSCCL++ path under
+// asymmetric traffic and pins the exact receive-wait count per rank. With
+// the pre-fix row-gated waits, rank 1 blocks forever on a signal from rank
+// 3 that is never issued and the engine reports a deadlock.
+func TestAsymmetricWaitsMSCCLPP(t *testing.T) {
+	cfg, tokens := asymCfg()
+	e, err := New(topology.H100(1), cfg, TransportMSCCLPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Dispatch(tokens)
+	if err != nil {
+		t.Fatalf("asymmetric dispatch deadlocked or failed: %v", err)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("asymmetric dispatch elapsed %d", res.Elapsed)
+	}
+	for r, got := range e.waits {
+		if got != wantAsymWaits[r] {
+			t.Fatalf("rank %d executed %d waits, want %d (waits %v)", r, got, wantAsymWaits[r], e.waits)
+		}
+	}
+}
+
+// TestAsymmetricWaitsIBGDA is the IBGDA twin: the same asymmetric routing
+// must neither deadlock nor leave semaphore expectations drifting from the
+// signals actually issued.
+func TestAsymmetricWaitsIBGDA(t *testing.T) {
+	cfg, tokens := asymCfg()
+	e, err := New(topology.H100(1), cfg, TransportIBGDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Dispatch(tokens); err != nil {
+		t.Fatalf("asymmetric dispatch deadlocked or failed: %v", err)
+	}
+	for r, got := range e.waits {
+		if got != wantAsymWaits[r] {
+			t.Fatalf("rank %d executed %d waits, want %d (waits %v)", r, got, wantAsymWaits[r], e.waits)
+		}
+	}
+	// Every pairwise expectation must equal the puts actually issued: one
+	// per nonzero off-diagonal matrix entry, and the semaphore value must
+	// have caught up (no unconsumed signals, no outstanding waits).
+	n := 8
+	mat := cfg.TrafficMatrix(n, tokens, 1)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			want := uint64(0)
+			if mat[a][b] > 0 {
+				want = 1
+			}
+			if got := e.gdaExp[a][b]; got != want {
+				t.Fatalf("expectation %d->%d = %d, want %d", a, b, got, want)
+			}
+			if v := e.gdaSem[a][b].Value(); v != want {
+				t.Fatalf("semaphore %d->%d = %d, want %d (signal issued but never consumed, or vice versa)", a, b, v, want)
+			}
+		}
+	}
+}
+
+// TestRemainderConservation pins byte conservation for a token count not
+// divisible by the GPU count: the aggregate dispatch volume over all ranks
+// must be exactly tokens * TopK * Hidden * elemBytes, with the remainder
+// split giving the first tokens%n ranks one extra token each.
+func TestRemainderConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	const n, tokens = 16, 4100 // 4100 % 16 = 4
+	var total int64
+	for r := 0; r < n; r++ {
+		d := cfg.destBytes(n, r, tokens, 1)
+		var row int64
+		for _, b := range d {
+			row += b
+		}
+		wantRow := int64(rankTokens(tokens, n, r)) * int64(cfg.TopK) * int64(cfg.Hidden)
+		if row != wantRow {
+			t.Fatalf("rank %d row total %d, want %d", r, row, wantRow)
+		}
+		total += row
+	}
+	want := int64(tokens) * int64(cfg.TopK) * int64(cfg.Hidden)
+	if total != want {
+		t.Fatalf("aggregate %d bytes, want %d (remainder tokens dropped?)", total, want)
+	}
+	// The split itself: first 4 ranks carry one extra token.
+	for r := 0; r < n; r++ {
+		want := tokens / n
+		if r < tokens%n {
+			want++
+		}
+		if got := rankTokens(tokens, n, r); got != want {
+			t.Fatalf("rankTokens(%d, %d, %d) = %d, want %d", tokens, n, r, got, want)
+		}
+	}
+}
+
+// TestRemainderBytesMax asserts the engine-level symptom of the old bug is
+// gone: 16 GPUs at 4100 tokens must move strictly more bytes than at 4096,
+// not silently truncate to the 4096 volume.
+func TestRemainderBytesMax(t *testing.T) {
+	run := func(tokens int) int64 {
+		e, err := New(topology.H100(2), DefaultConfig(), TransportIBGDA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Dispatch(tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BytesMax
+	}
+	if b4100, b4096 := run(4100), run(4096); b4100 <= b4096 {
+		t.Fatalf("BytesMax(4100 tokens) = %d not > BytesMax(4096) = %d: remainder still dropped", b4100, b4096)
+	}
+}
+
+// TestIBGDALockstep runs the same Dispatch/Combine sequence on two
+// independent engines and asserts bit-identical timing per call plus
+// semaphore expectations advancing in lockstep with the cumulative traffic
+// matrix — the property that keeps successive all-to-alls from drifting
+// when earlier phases leave expectations misaligned.
+func TestIBGDALockstep(t *testing.T) {
+	cfg := Config{Hidden: 64, TopK: 2, Experts: 16}
+	tokensSeq := []int{5, 16, 7} // mixes non-divisible and divisible counts
+	runSeq := func() (*Engine, []sim.Duration) {
+		e, err := New(topology.H100(1), cfg, TransportIBGDA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elapsed []sim.Duration
+		for _, tokens := range tokensSeq {
+			d, err := e.Dispatch(tokens)
+			if err != nil {
+				t.Fatalf("dispatch %d: %v", tokens, err)
+			}
+			c, err := e.Combine(tokens)
+			if err != nil {
+				t.Fatalf("combine %d: %v", tokens, err)
+			}
+			elapsed = append(elapsed, d.Elapsed, c.Elapsed)
+		}
+		return e, elapsed
+	}
+	e1, t1 := runSeq()
+	e2, t2 := runSeq()
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("phase %d timing diverged across identical runs: %d vs %d ns", i, t1[i], t2[i])
+		}
+	}
+	// Expectations must equal the cumulative count of nonzero off-diagonal
+	// entries over all six phases (dispatch and combine share one matrix
+	// sparsity pattern; elemBytes only scales values).
+	n := 8
+	want := make(map[[2]int]uint64)
+	for _, tokens := range tokensSeq {
+		mat := cfg.TrafficMatrix(n, tokens, 1)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b && mat[a][b] > 0 {
+					want[[2]int{a, b}] += 2 // dispatch + combine
+				}
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			if got := e1.gdaExp[a][b]; got != want[[2]int{a, b}] {
+				t.Fatalf("expectation %d->%d = %d, want %d after %d phases", a, b, got, want[[2]int{a, b}], 2*len(tokensSeq))
+			}
+			if e1.gdaExp[a][b] != e2.gdaExp[a][b] {
+				t.Fatalf("expectation %d->%d diverged: %d vs %d", a, b, e1.gdaExp[a][b], e2.gdaExp[a][b])
+			}
+		}
+	}
+}
+
+// TestSkewPlacementLoadFactor pins the imbalance model: uniform routing is
+// near-balanced, hot-expert skew under block placement concentrates load
+// on GPU 0, and the stride remap recovers most of the balance without
+// changing aggregate volume.
+func TestSkewPlacementLoadFactor(t *testing.T) {
+	const n, tokens = 16, 4096
+	uni := DefaultConfig()
+	skew := uni
+	skew.Skew = 0.5
+	rebal := skew
+	rebal.Placement = PlaceRebalance
+
+	lfUni := uni.LoadFactor(n, tokens)
+	lfSkew := skew.LoadFactor(n, tokens)
+	lfRebal := rebal.LoadFactor(n, tokens)
+	if lfUni < 1 || lfUni > 1.25 {
+		t.Fatalf("uniform load factor %.3f not near 1", lfUni)
+	}
+	if lfSkew < 2 {
+		t.Fatalf("skewed block-placement load factor %.3f shows no hot spot", lfSkew)
+	}
+	if lfRebal > (1+lfSkew)/2 {
+		t.Fatalf("rebalanced load factor %.3f does not recover from skewed %.3f", lfRebal, lfSkew)
+	}
+
+	// Conservation is placement- and skew-invariant.
+	var sums [3]int64
+	for i, cfg := range []Config{uni, skew, rebal} {
+		for r := 0; r < n; r++ {
+			for _, b := range cfg.destBytes(n, r, tokens, 1) {
+				sums[i] += b
+			}
+		}
+	}
+	if sums[0] != sums[1] || sums[1] != sums[2] {
+		t.Fatalf("skew/placement changed aggregate volume: %v", sums)
+	}
+}
+
+// FuzzDestBytes fuzzes the routing split for byte conservation: for any
+// valid (config, cluster, token count), the aggregate volume over all
+// ranks is exactly tokens * TopK * Hidden * elemBytes and the load factor
+// stays in [1, n].
+func FuzzDestBytes(f *testing.F) {
+	f.Add(uint8(16), uint8(16), uint8(8), uint16(7168), uint16(4100), uint16(0), false)
+	f.Add(uint8(8), uint8(1), uint8(1), uint16(16), uint16(3), uint16(500), true)
+	f.Add(uint8(2), uint8(4), uint8(3), uint16(64), uint16(65535), uint16(1000), false)
+	f.Fuzz(func(t *testing.T, n8, epg8, topk8 uint8, hidden16, tokens16, skewMille uint16, rebalance bool) {
+		n := int(n8%63) + 2     // 2..64 GPUs
+		epg := int(epg8%32) + 1 // experts per GPU
+		experts := n * epg      // divisibility by construction
+		topk := int(topk8)%experts + 1
+		hidden := int(hidden16)%8192 + 1
+		tokens := int(tokens16) % 5000
+		cfg := Config{
+			Hidden:  hidden,
+			TopK:    topk,
+			Experts: experts,
+			Skew:    float64(skewMille%1001) / 1000,
+		}
+		if rebalance {
+			cfg.Placement = PlaceRebalance
+		}
+		if err := cfg.validate(n); err != nil {
+			t.Fatalf("sanitized config invalid: %v", err)
+		}
+		const elemBytes = 2
+		var total int64
+		for r := 0; r < n; r++ {
+			for p, b := range cfg.destBytes(n, r, tokens, elemBytes) {
+				if b < 0 {
+					t.Fatalf("negative bytes %d toward %d", b, p)
+				}
+				total += b
+			}
+		}
+		want := int64(tokens) * int64(topk) * int64(hidden) * elemBytes
+		if total != want {
+			t.Fatalf("aggregate %d bytes, want %d (n=%d topk=%d hidden=%d tokens=%d skew=%g)",
+				total, want, n, topk, hidden, tokens, cfg.Skew)
+		}
+		if tokens > 0 {
+			lf := cfg.LoadFactor(n, tokens)
+			if lf < 1 || lf > float64(n)+1e-9 {
+				t.Fatalf("load factor %.3f outside [1, %d]", lf, n)
+			}
+		}
+	})
+}

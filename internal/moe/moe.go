@@ -3,6 +3,12 @@
 // token routing across two H100 nodes (16 GPUs, 256 experts, top-k 8,
 // FP8 dispatch and BF16 combine), over either MSCCL++ PortChannels (CPU
 // proxy RDMA) or an NVSHMEM-IBGDA-style GPU-initiated RDMA stack.
+//
+// Beyond the Figure 13 bandwidth curves, the package models deterministic
+// expert imbalance (Config.Skew routes a fixed fraction of activations to
+// a hot expert set) and an expert-placement knob (Config.Placement:
+// uniform block placement vs a skew-aware stride remap), which the serving
+// layer prices expert-parallel decode iterations against.
 package moe
 
 import (
@@ -28,16 +34,155 @@ const (
 	TransportIBGDA Transport = "nvshmem-ibgda"
 )
 
+// Placement selects the expert-to-GPU map.
+type Placement int
+
+// Placements. PlaceUniform is the zero value.
+const (
+	// PlaceUniform assigns contiguous expert blocks: expert e lives on GPU
+	// e / (Experts/n). Under hot-expert skew the entire hot set (experts
+	// 0..TopK-1) co-locates on GPU 0, concentrating the imbalance.
+	PlaceUniform Placement = iota
+	// PlaceRebalance is the skew-aware remap: expert e lives on GPU e % n,
+	// striding the hot set across the cluster so no single GPU absorbs the
+	// skewed traffic. Per-GPU expert counts stay exactly Experts/n.
+	PlaceRebalance
+)
+
 // Config describes the expert-parallel layer (DeepSeek-V3 defaults).
 type Config struct {
 	Hidden  int // hidden size (7168)
 	TopK    int // experts per token (8)
 	Experts int // total experts (256)
+
+	// Skew is the deterministic hot-expert imbalance: the fraction (0..1)
+	// of routed activations redirected to the hot expert set — experts
+	// 0..TopK-1, one hot expert per top-k slot so a token's experts stay
+	// distinct. Zero (the default) keeps the near-uniform routing of the
+	// Figure 13 setting.
+	Skew float64
+	// Placement selects the expert-to-GPU map (uniform block placement vs
+	// the skew-aware stride remap). Irrelevant to aggregate volume, decisive
+	// for where skewed traffic lands.
+	Placement Placement
 }
 
 // DefaultConfig returns the paper's DeepSeek-V3 setting.
 func DefaultConfig() Config {
 	return Config{Hidden: 7168, TopK: 8, Experts: 256}
+}
+
+// validate checks the config against an n-GPU cluster.
+func (c Config) validate(n int) error {
+	switch {
+	case c.Hidden < 1:
+		return fmt.Errorf("moe: Hidden = %d", c.Hidden)
+	case c.TopK < 1 || c.TopK > c.Experts:
+		return fmt.Errorf("moe: TopK = %d of %d experts", c.TopK, c.Experts)
+	case c.Experts%n != 0:
+		return fmt.Errorf("moe: %d experts not divisible by %d GPUs", c.Experts, n)
+	case c.Skew < 0 || c.Skew > 1:
+		return fmt.Errorf("moe: Skew = %g outside [0, 1]", c.Skew)
+	case c.Placement != PlaceUniform && c.Placement != PlaceRebalance:
+		return fmt.Errorf("moe: Placement = %d", c.Placement)
+	}
+	return nil
+}
+
+// rankTokens returns how many of `tokens` batch tokens rank r owns: tokens
+// split as evenly as possible, with the first tokens%n ranks carrying one
+// extra token each. This is the documented deterministic remainder split —
+// no token is ever dropped, so aggregate dispatch volume is exactly
+// tokens * TopK * Hidden * elemBytes regardless of divisibility.
+func rankTokens(tokens, n, r int) int {
+	per := tokens / n
+	if r < tokens%n {
+		per++
+	}
+	return per
+}
+
+// expertOf returns the expert serving activation (r, t, j): token t on
+// rank r, top-k slot j. The base choice is the deterministic near-uniform
+// hash (t*TopK + j*37 + r*11) mod Experts; with Skew > 0 a fixed fraction
+// of activations (selected by a deterministic hash, well-mixed across
+// ranks, tokens and slots) is redirected to hot expert j.
+func (c Config) expertOf(r, t, j int) int {
+	if c.Skew > 0 {
+		h := (uint64(t)*1000003 + uint64(j)*7919 + uint64(r)*104729) % 1000
+		if h < uint64(c.Skew*1000+0.5) {
+			return j
+		}
+	}
+	return (t*c.TopK + j*37 + r*11) % c.Experts
+}
+
+// gpuOf returns the GPU hosting an expert under the configured placement.
+func (c Config) gpuOf(expert, n int) int {
+	if c.Placement == PlaceRebalance {
+		return expert % n
+	}
+	return expert / (c.Experts / n)
+}
+
+// destBytes computes how many bytes rank r sends to each destination GPU
+// for its share of `tokens` total tokens: each of the rank's tokens
+// (rankTokens split) activates TopK experts whose placement decides the
+// destination.
+func (c Config) destBytes(n, r, tokens int, elemBytes int64) []int64 {
+	out := make([]int64, n)
+	for t := 0; t < rankTokens(tokens, n, r); t++ {
+		for j := 0; j < c.TopK; j++ {
+			out[c.gpuOf(c.expertOf(r, t, j), n)] += int64(c.Hidden) * elemBytes
+		}
+	}
+	return out
+}
+
+// TrafficMatrix returns the full n-by-n all-to-all byte matrix of one
+// phase moving elemBytes per hidden element: mat[src][dst] is what src
+// puts into dst (the diagonal is the local-expert HBM pass). One phase's
+// sender loops and receive-wait loops are both driven from this single
+// matrix, so every put has a matching wait by construction — the
+// column mat[*][r] is exactly the set of peers rank r must wait for.
+func (c Config) TrafficMatrix(n, tokens int, elemBytes int64) [][]int64 {
+	mat := make([][]int64, n)
+	for r := 0; r < n; r++ {
+		mat[r] = c.destBytes(n, r, tokens, elemBytes)
+	}
+	return mat
+}
+
+// LoadFactor reports the expert-compute imbalance of this routing over an
+// n-GPU cluster at a batch of `tokens`: the hottest GPU's received
+// activation count over the per-GPU mean (1.0 = perfectly balanced,
+// n = everything on one GPU). The serving layer scales the routed-expert
+// FLOPs of an expert-parallel decode step by this factor — the batch is
+// not done until the hottest GPU is.
+func (c Config) LoadFactor(n, tokens int) float64 {
+	if tokens < 1 || n < 1 {
+		return 1
+	}
+	recv := make([]int64, n)
+	var total int64
+	for r := 0; r < n; r++ {
+		for t := 0; t < rankTokens(tokens, n, r); t++ {
+			for j := 0; j < c.TopK; j++ {
+				recv[c.gpuOf(c.expertOf(r, t, j), n)]++
+				total++
+			}
+		}
+	}
+	var max int64
+	for _, v := range recv {
+		if v > max {
+			max = v
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(max) * float64(n) / float64(total)
 }
 
 // Engine is one expert-parallel communicator over a simulated cluster.
@@ -56,6 +201,11 @@ type Engine struct {
 
 	src []*mem.Buffer
 	dst []*mem.Buffer
+
+	// waits counts, per rank, the receive-waits the last run executed —
+	// the per-rank peer set derived from the traffic-matrix column. Tests
+	// pin these against the matrix to keep put/wait symmetry honest.
+	waits []int
 }
 
 // maxTokensBytes bounds per-rank communication buffers (65536 tokens total,
@@ -68,8 +218,8 @@ func New(env *topology.Env, cfg Config, mode Transport) (*Engine, error) {
 	if env.TotalGPUs() < 2 {
 		return nil, fmt.Errorf("moe: need at least 2 GPUs")
 	}
-	if cfg.Experts%env.TotalGPUs() != 0 {
-		return nil, fmt.Errorf("moe: %d experts not divisible by %d GPUs", cfg.Experts, env.TotalGPUs())
+	if err := cfg.validate(env.TotalGPUs()); err != nil {
+		return nil, err
 	}
 	m := machine.New(env)
 	m.MaterializeLimit = 0 // throughput experiment: timing only
@@ -139,25 +289,6 @@ func (e *Engine) gdaPut(k *machine.Kernel, a, b int, bytes int64) {
 	e.M.Engine.At(complete+e.M.Model.SemSignalCost, func() { sem.Add(1) })
 }
 
-// destBytes computes how many bytes rank r sends to each destination for
-// `tokens` total tokens: tokens are split evenly across ranks, each token
-// activates TopK experts spread deterministically (near-uniformly) over all
-// expert GPUs.
-func (e *Engine) destBytes(r int, tokens int, elemBytes int64) []int64 {
-	n := e.M.Env.TotalGPUs()
-	perRank := tokens / n
-	out := make([]int64, n)
-	expertsPerGPU := e.Cfg.Experts / n
-	for t := 0; t < perRank; t++ {
-		for j := 0; j < e.Cfg.TopK; j++ {
-			// Deterministic near-uniform expert choice.
-			expert := (t*e.Cfg.TopK + j*37 + r*11) % e.Cfg.Experts
-			out[expert/expertsPerGPU] += int64(e.Cfg.Hidden) * elemBytes
-		}
-	}
-	return out
-}
-
 // Result reports one dispatch or combine phase.
 type Result struct {
 	Elapsed   sim.Duration
@@ -166,13 +297,20 @@ type Result struct {
 }
 
 // run executes one all-to-all phase moving elemBytes per hidden element.
+// The full n-by-n traffic matrix is computed once up front and drives both
+// directions of the exchange: rank r puts along row mat[r] and waits along
+// column mat[*][r], so a put issued toward r is always matched by a wait
+// on r — including under asymmetric traffic (small or non-divisible token
+// counts, skewed routing), where a rank's send set and receive set differ.
 func (e *Engine) run(tokens int, elemBytes int64, label string) (Result, error) {
 	n := e.M.Env.TotalGPUs()
+	mat := e.Cfg.TrafficMatrix(n, tokens, elemBytes)
 	start := e.M.Engine.Now()
 	var maxBytes int64
+	e.waits = make([]int, n)
 	for r := 0; r < n; r++ {
 		r := r
-		dests := e.destBytes(r, tokens, elemBytes)
+		dests := mat[r]
 		var total int64
 		for p, b := range dests {
 			if p != r {
@@ -196,9 +334,10 @@ func (e *Engine) run(tokens int, elemBytes int64, label string) (Result, error) 
 					e.send[r][p].PutWithSignal(k, 0, 0, dests[p], 0, 1)
 				}
 				for p := 0; p < n; p++ {
-					if p == r || dests[p] == 0 {
+					if p == r || mat[p][r] == 0 {
 						continue
 					}
+					e.waits[r]++
 					e.recv[r][p].Wait(k)
 				}
 			case TransportIBGDA:
@@ -209,9 +348,10 @@ func (e *Engine) run(tokens int, elemBytes int64, label string) (Result, error) 
 					e.gdaPut(k, r, p, dests[p])
 				}
 				for p := 0; p < n; p++ {
-					if p == r || dests[p] == 0 {
+					if p == r || mat[p][r] == 0 {
 						continue
 					}
+					e.waits[r]++
 					e.gdaExp[p][r]++
 					e.gdaSem[p][r].WaitGE(k.P, e.gdaExp[p][r])
 					k.Elapse(k.Model().SemWaitWake)

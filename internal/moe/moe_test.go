@@ -21,7 +21,7 @@ func TestDestBytesUniformAndComplete(t *testing.T) {
 		t.Fatal(err)
 	}
 	tokens := 4096
-	d := e.destBytes(0, tokens, 1)
+	d := e.Cfg.destBytes(16, 0, tokens, 1)
 	var total int64
 	for _, b := range d {
 		total += b

@@ -116,6 +116,12 @@ func init() {
 		Run:   servePlanetary,
 	})
 	Register(Scenario{
+		Name:  "serve-moe",
+		Title: "Serving: DeepSeek-V3 expert-parallel MoE vs dense-equivalent, fabric-priced dispatch/combine, hot-expert skew and rebalancing (EP=16, two-node Table-2 envs)",
+		Slow:  true,
+		Run:   serveMoE,
+	})
+	Register(Scenario{
 		Name:  "serve-overload",
 		Title: "Overload: paged KV + recompute/swap preemption vs whole-request reservation at 2x load, two priority tiers (Llama3-70B TP=8)",
 		Run:   serveOverload,

@@ -101,6 +101,10 @@ type Config struct {
 	// AR times one tensor-parallel AllReduce at a message size (usually an
 	// inference.ARTimer's Time method; must be safe for reuse).
 	AR func(int64) sim.Duration
+	// A2A prices one MoE layer's expert-parallel all-to-all at a token
+	// count (usually an inference.EPTimer's Layer method; must be safe for
+	// reuse). Required when Model.MoE is set, ignored otherwise.
+	A2A func(tokens int) inference.A2ACost
 
 	// MaxBatch bounds how many requests may be resident (prefilling or
 	// decoding) at once. Defaults to 32.
@@ -191,6 +195,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("serve: Config.Env is nil")
 	case c.AR == nil:
 		return fmt.Errorf("serve: Config.AR is nil")
+	case c.Model.MoE != nil && c.A2A == nil:
+		return fmt.Errorf("serve: model %s has experts but Config.A2A is nil", c.Model.Name)
 	case c.MaxBatch < 1:
 		return fmt.Errorf("serve: MaxBatch = %d", c.MaxBatch)
 	case c.KVCapacityBytes < 1:
@@ -372,6 +378,12 @@ type Scheduler struct {
 	// of any timing decision — iterations are serialized by the driver
 	// state machine, not by this resource.
 	gpu *sim.Resource
+	// dispatch/combine are observe-only resources tracking the expert-
+	// parallel all-to-all share of each priced iteration (the MoE model's
+	// dispatch and combine time summed over its MoE layers). Nil for dense
+	// models.
+	dispatch *sim.Resource
+	combine  *sim.Resource
 
 	// onPrefilled fires (in engine context, at the iteration end time) when
 	// a rolePrefill replica finishes a request's prompt processing — the
@@ -456,6 +468,10 @@ func newScheduler(eng *sim.Engine, name string, cfg Config, ro role) (*Scheduler
 		prefixSeen: make(map[uint64]bool),
 		res:        &Result{},
 		gpu:        sim.NewResource(name + "/gpu"),
+	}
+	if c.Model.MoE != nil {
+		s.dispatch = sim.NewResource(name + "/moe-dispatch")
+		s.combine = sim.NewResource(name + "/moe-combine")
 	}
 	if c.Metrics == MetricsStream {
 		s.stream = newStreamStats(c.SLO, c.TierSLOs)
@@ -747,12 +763,19 @@ func (s *Scheduler) Result() *Result {
 
 // Counters snapshots the replica's named resource counters: the
 // observe-only gpu iteration resource (reservations = priced iterations,
-// busy = compute+comm time, idle = waiting on arrivals or KV frees) and,
-// under paged KV, the per-GPU swap lanes with their queue-delay and depth
-// accounting. This is the serve layer's counter registration for
-// per-scenario "where did the time go" reports.
+// busy = compute+comm time, idle = waiting on arrivals or KV frees); for
+// MoE models the moe-dispatch/moe-combine groups (the expert-parallel
+// all-to-all share of each iteration); and, under paged KV, the per-GPU
+// swap lanes with their queue-delay and depth accounting. This is the
+// serve layer's counter registration for per-scenario "where did the time
+// go" reports.
 func (s *Scheduler) Counters() []sim.CounterGroup {
 	groups := []sim.CounterGroup{sim.Group("gpu", s.gpu)}
+	if s.dispatch != nil {
+		groups = append(groups,
+			sim.Group("moe-dispatch", s.dispatch),
+			sim.Group("moe-combine", s.combine))
+	}
 	if s.swapper != nil {
 		groups = append(groups, s.swapper.Counters())
 	}
@@ -931,7 +954,11 @@ func (s *Scheduler) preempt(rs *reqState, now sim.Time) bool {
 	resident := rs.kvTokens()
 	var recompute sim.Duration
 	if resident > 0 {
-		recompute = inference.PrefillStep(s.cfg.Env, s.cfg.Model, 1, resident, s.cfg.AR)
+		if s.cfg.Model.MoE != nil {
+			recompute = inference.MoEPrefillStep(s.cfg.Env, s.cfg.Model, 1, resident, s.cfg.AR, s.cfg.A2A).Total
+		} else {
+			recompute = inference.PrefillStep(s.cfg.Env, s.cfg.Model, 1, resident, s.cfg.AR)
+		}
 	}
 	shard := s.cfg.Model.KVShardBytes(resident)
 	swapCost := 2 * s.swapper.Cost(shard)
@@ -1191,19 +1218,45 @@ func (s *Scheduler) formIteration(now sim.Time) (sim.Duration, iterVerdict) {
 
 	// Price the iteration. Prefill and decode execute back to back
 	// within one engine step (the non-fused form of chunked prefill);
-	// each side pays its own roofline + TP-communication cost.
+	// each side pays its own roofline + TP-communication cost. An MoE
+	// model additionally pays per MoE layer a dispatch+combine all-to-all
+	// at the phase's token count, with the routed-expert compute scaled by
+	// the routing's load factor.
 	dur := c.SchedOverhead
 	s.chunkTok = c.ChunkTokens - chunkLeft
+	var disp, comb sim.Duration
 	if s.chunkTok > 0 {
-		dur += inference.PrefillStep(c.Env, c.Model, 1, s.chunkTok, c.AR)
+		if c.Model.MoE != nil {
+			st := inference.MoEPrefillStep(c.Env, c.Model, 1, s.chunkTok, c.AR, c.A2A)
+			dur += st.Total
+			disp += st.Dispatch
+			comb += st.Combine
+		} else {
+			dur += inference.PrefillStep(c.Env, c.Model, 1, s.chunkTok, c.AR)
+		}
 	}
 	if len(s.decoders) > 0 {
-		dur += inference.DecodeStepCtx(c.Env, c.Model, len(s.decoders), s.decodeCtx, c.AR)
+		if c.Model.MoE != nil {
+			st := inference.MoEDecodeStepCtx(c.Env, c.Model, len(s.decoders), s.decodeCtx, c.AR, c.A2A)
+			dur += st.Total
+			disp += st.Dispatch
+			comb += st.Combine
+		} else {
+			dur += inference.DecodeStepCtx(c.Env, c.Model, len(s.decoders), s.decodeCtx, c.AR)
+		}
 	}
 	// Book the iteration on the observe-only gpu resource: its counters
 	// become the replica's "where did the time go" row (busy = priced
-	// iterations, idle gaps = waiting on arrivals or KV frees).
+	// iterations, idle gaps = waiting on arrivals or KV frees). MoE
+	// iterations additionally book their all-to-all shares so the counter
+	// report splits out fabric time from roofline time.
 	s.gpu.Reserve(now, dur)
+	if s.dispatch != nil && disp > 0 {
+		s.dispatch.Reserve(now, disp)
+	}
+	if s.combine != nil && comb > 0 {
+		s.combine.Reserve(now, comb)
+	}
 	return dur, iterRun
 }
 
