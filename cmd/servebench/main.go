@@ -51,6 +51,17 @@
 // uniform|rebalance picks the expert-to-GPU map:
 //
 //	servebench -moe -replicas 1 -requests 200 -rate 3 -imbalance 0.5 -placement rebalance -counters
+//
+// -autoscale (also ad-hoc mode) runs an elastically scaled routed fleet
+// instead of a fixed one: -replicas becomes the fleet maximum, -policy
+// selects the scale policy (static|target-util|slo-pid), -tenants merges
+// that many independently seeded diurnal tenants (tenant 0 interactive,
+// the rest batch tier), and -provision-delay sets the boot time in
+// seconds before a scaled-up replica admits. The run prints the
+// fleet-size timeline, the scale-down drain audit and the economics
+// report (GPU-hours, cost per million SLO-compliant tokens):
+//
+//	servebench -autoscale -replicas 4 -policy slo-pid -tenants 2 -requests 400 -rate 10 -provision-delay 45
 package main
 
 import (
@@ -95,12 +106,16 @@ func main() {
 	preempt := flag.String("preempt", "", "ad-hoc mode: run block-granular paged KV with this preemption policy (recompute|swap|auto); empty = whole-footprint reservation")
 	counters := flag.Bool("counters", false, "ad-hoc mode: print each replica's resource-counter report (gpu occupancy, kv-swap lanes) after the summaries")
 	moeRun := flag.Bool("moe", false, "ad-hoc mode: serve the expert-parallel DeepSeek-V3 deployment (EP=16, 2x H100, IBGDA all-to-all) instead of dense Llama3-70B")
+	autoscale := flag.Bool("autoscale", false, "ad-hoc mode: run an elastically scaled routed fleet (-replicas is the fleet maximum; -policy selects the scale policy: "+strings.Join(serve.ScalePolicyNames(), "|")+")")
+	tenants := flag.Int("tenants", 2, "ad-hoc -autoscale mode: number of merged independently seeded diurnal tenants (tenant 0 interactive, the rest batch tier)")
+	provisionDelay := flag.Float64("provision-delay", 30, "ad-hoc -autoscale mode: boot delay in seconds before a scaled-up replica admits")
 	experts := flag.Int("experts", 256, "ad-hoc -moe mode: total routed experts (must be divisible by the 16 expert-parallel GPUs)")
 	imbalance := flag.Float64("imbalance", 0, "ad-hoc -moe mode: hot-expert skew fraction in [0, 1] (0 = balanced routing)")
 	placement := flag.String("placement", "uniform", "ad-hoc -moe mode: expert-to-GPU map (uniform|rebalance)")
 	flag.Parse()
 
 	adhocFlagsSet, prefillSet, moeSubflagSet := false, false, false
+	policySet, prioritySet, autoscaleSubflagSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "prefill-replicas":
@@ -109,8 +124,17 @@ func main() {
 		case "experts", "imbalance", "placement":
 			moeSubflagSet = true
 			adhocFlagsSet = true
-		case "replicas", "policy", "requests", "rate", "seed", "disagg",
-			"kv-bytes", "priority-split", "preempt", "counters", "moe":
+		case "tenants", "provision-delay":
+			autoscaleSubflagSet = true
+			adhocFlagsSet = true
+		case "policy":
+			policySet = true
+			adhocFlagsSet = true
+		case "priority-split":
+			prioritySet = true
+			adhocFlagsSet = true
+		case "replicas", "requests", "rate", "seed", "disagg",
+			"kv-bytes", "preempt", "counters", "moe", "autoscale":
 			adhocFlagsSet = true
 		}
 	})
@@ -153,6 +177,33 @@ func main() {
 			default:
 				log.Fatalf("-preempt must be recompute, swap or auto (got %q)", *preempt)
 			}
+		}
+		if *autoscale {
+			// The autoscale mode owns its workload shape (per-tenant diurnal
+			// envelopes with built-in tiers) and fleet geometry; refuse the
+			// flags it would otherwise silently ignore.
+			if *disagg || *moeRun || prefillSet || prioritySet {
+				log.Fatal("-autoscale cannot be combined with -disagg, -moe, -prefill-replicas or -priority-split")
+			}
+			if *tenants < 1 {
+				log.Fatalf("-tenants must be >= 1 (got %d)", *tenants)
+			}
+			if *provisionDelay < 0 {
+				log.Fatalf("-provision-delay must be >= 0 seconds (got %g)", *provisionDelay)
+			}
+			scalePol := "slo-pid"
+			if policySet {
+				scalePol = *policy
+			}
+			if err := runAdhocAutoscale(cfg, *replicas, scalePol, *tenants, *requests, *rate, *seed,
+				*provisionDelay, *counters); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
+		if autoscaleSubflagSet {
+			// Same fail-fast rule as the other mode sub-flags.
+			log.Fatal("-tenants/-provision-delay only apply with -autoscale")
 		}
 		wl := adhocWorkload(*requests, *rate, *seed)
 		tiered := *prioritySplit >= 0
@@ -319,6 +370,78 @@ func runAdhoc(cfg serve.Config, replicas int, policy string, wl serve.Workload, 
 		fmt.Printf("  replica %d: %4d requests, ttft p99 %8.1f ms, %d iterations\n",
 			i, ps.Requests, ps.TTFTp99ms, ps.Iterations)
 	}
+	if counters {
+		for i, pr := range res.PerReplica {
+			printCounters(fmt.Sprintf("replica %d", i), pr)
+		}
+	}
+	return nil
+}
+
+// adhocBatchSLO is the relaxed objective of the autoscale mode's batch
+// tenants (priority 1).
+var adhocBatchSLO = serve.SLO{MaxTTFT: 20 * sim.Second, MaxTPOT: 400 * sim.Millisecond}
+
+// runAdhocAutoscale replays a merged multi-tenant diurnal workload
+// through an elastically scaled routed fleet and prints the merged
+// summary, the fleet-size timeline, the drain audit and the EconReport.
+func runAdhocAutoscale(cfg serve.Config, maxReplicas int, policy string, tenants, requests int, rate float64, seed uint64, delaySec float64, counters bool) error {
+	pol, err := serve.ScalePolicyByName(policy)
+	if err != nil {
+		return err
+	}
+	// The control loop reads SLO attainment, so the objectives are replica
+	// configuration here (tenant 0 interactive, the rest batch tier).
+	cfg.SLO = adhocSLO
+	cfg.TierSLOs = map[int]serve.SLO{1: adhocBatchSLO}
+	parts := make([]serve.Workload, tenants)
+	for i := range parts {
+		t := serve.Diurnal(seed+uint64(i), requests, rate, 0.25, 600*sim.Second,
+			serve.LogNormalLen(512, 0.6, 2048), serve.LogNormalLen(64, 0.5, 192))
+		if i > 0 {
+			for j := range t.Requests {
+				t.Requests[j].Priority = 1
+			}
+		}
+		parts[i] = t
+	}
+	wl := serve.MergeWorkloads(fmt.Sprintf("%d-tenant-diurnal", tenants), parts...)
+	res, err := serve.RunAutoscaled(serve.AutoscaleConfig{
+		Replica:        cfg,
+		Policy:         pol,
+		Router:         serve.NewJSQ(),
+		MinReplicas:    1,
+		MaxReplicas:    maxReplicas,
+		ProvisionDelay: sim.Duration(delaySec * float64(sim.Second)),
+	}, wl)
+	if err != nil {
+		return err
+	}
+	s := res.Merged.SummarizeTiered(adhocSLO, cfg.TierSLOs)
+	fmt.Printf("Autoscaled serving: %d requests (%d diurnal tenants at peak %.3g req/s each), scale policy %s, fleet 1..%d (%s, MSCCL++)\n",
+		len(wl.Requests), tenants, rate, res.Policy, maxReplicas, cfg.Model.Name)
+	fmt.Printf("  merged: ttft p50 %.1f ms p99 %.1f ms | tpot p99 %.1f ms | goodput %.0f tok/s | SLO %.1f%%\n",
+		s.TTFTp50ms, s.TTFTp99ms, s.TPOTp99ms, s.GoodputTokS, 100*s.SLOAttainment)
+	for _, ts := range s.ByTier {
+		name := "batch"
+		if ts.Priority == 0 {
+			name = "interactive"
+		}
+		fmt.Printf("  tier %d (%s): %4d requests, ttft p99 %8.1f ms, SLO %.1f%%\n",
+			ts.Priority, name, ts.Requests, ts.TTFTp99ms, 100*ts.SLOAttainment)
+	}
+	fmt.Printf("  fleet timeline (%d scale-ups, %d scale-downs):\n", res.ScaleUps, res.ScaleDowns)
+	for _, ev := range res.Fleet {
+		fmt.Printf("    t=%8.1fs %-9s replica %2d -> %d active / %d provisioning / %d draining\n",
+			float64(ev.TimeNs)/1e9, ev.Event, ev.Replica, ev.Active, ev.Provisioning, ev.Draining)
+	}
+	for _, d := range res.Drains {
+		fmt.Printf("  drain replica %d at t=%.1fs: %d handed off, %d residents, retired t=%.1fs, %d stranded\n",
+			d.Replica, float64(d.TimeNs)/1e9, d.HandedOff, d.Residents, float64(d.RetiredNs)/1e9, d.Stranded)
+	}
+	e := res.Econ
+	fmt.Printf("  econ: %.2f GPU-hours at $%.2f/GPU-h = $%.2f | peak %d / mean %.2f replicas | %.0f good tok per GPU-h | $%.3f per Mtok\n",
+		e.GPUHours, e.GPUHourPrice, e.CostUSD, e.PeakReplicas, e.MeanReplicas, e.GoodputPerGPUHour, e.CostPerMTok)
 	if counters {
 		for i, pr := range res.PerReplica {
 			printCounters(fmt.Sprintf("replica %d", i), pr)

@@ -122,6 +122,12 @@ func init() {
 		Run:   serveMoE,
 	})
 	Register(Scenario{
+		Name:  "serve-autoscale",
+		Title: "Autoscaling: SLO-PID vs target-utilization vs static peak over a 2-tenant compressed diurnal day, GPU-hour economics and graceful drains (fleet 1-4, Llama3-70B TP=8)",
+		Slow:  true,
+		Run:   serveAutoscale,
+	})
+	Register(Scenario{
 		Name:  "serve-overload",
 		Title: "Overload: paged KV + recompute/swap preemption vs whole-request reservation at 2x load, two priority tiers (Llama3-70B TP=8)",
 		Run:   serveOverload,

@@ -1,0 +1,507 @@
+package serve
+
+// Prefill:decode ratio scaling for disaggregated deployments: the same
+// control-loop discipline as RunAutoscaled, applied to the one knob a
+// fixed-size disaggregated fleet has — how many of its replica slots run
+// prefill versus decode. Total GPU count stays constant (this is a
+// re-partitioning problem, not a capacity problem): a conversion drains
+// one replica of the shrinking pool, waits out the provisioning delay
+// (weight re-load, role switch), then boots a fresh replica of the
+// growing pool on the same slot. The KV-handoff fabric is partitioned
+// once over all slots, so a converted slot keeps its lanes and transfer
+// pricing stays honest across role changes.
+
+import (
+	"fmt"
+	"math"
+
+	"mscclpp/internal/sim"
+)
+
+// RatioSignals is one control-loop sample of a disaggregated fleet — the
+// view a RatioPolicy decides from.
+type RatioSignals struct {
+	// TimeNs is the sampling instant.
+	TimeNs sim.Time `json:"time_ns"`
+	// Slots is the fixed total replica-slot count.
+	Slots int `json:"slots"`
+	// PrefillReplicas and DecodeReplicas count active (routable) replicas
+	// per pool; Converting counts slots mid-conversion (draining or
+	// rebooting into their new role).
+	PrefillReplicas int `json:"prefill_replicas"`
+	DecodeReplicas  int `json:"decode_replicas"`
+	Converting      int `json:"converting,omitempty"`
+	// PrefillQueued/DecodeQueued sum the pools' admission queues;
+	// PrefillTokens/DecodeTokens their token-weighted outstanding work
+	// (decode includes handoffs still on the wire).
+	PrefillQueued int   `json:"prefill_queued,omitempty"`
+	DecodeQueued  int   `json:"decode_queued,omitempty"`
+	PrefillTokens int64 `json:"prefill_tokens,omitempty"`
+	DecodeTokens  int64 `json:"decode_tokens,omitempty"`
+}
+
+// RatioPolicy maps a signal sample to the desired prefill-pool size. The
+// driver clamps the decision to [1, Slots-1] — both pools always keep at
+// least one replica — and actuates at most one slot conversion at a time.
+type RatioPolicy interface {
+	// Name is the stable policy identifier used in reports.
+	Name() string
+	// DesiredPrefill returns how many slots the policy wants running
+	// prefill. Called in engine context once per control interval.
+	DesiredPrefill(sig RatioSignals) int
+}
+
+// staticRatio holds the prefill pool at a fixed size.
+type staticRatio struct{ n int }
+
+// NewStaticRatio returns the static baseline ratio policy: the prefill
+// pool is held at n slots regardless of load (n <= 0 pins to half the
+// slots).
+func NewStaticRatio(n int) RatioPolicy { return &staticRatio{n: n} }
+
+func (*staticRatio) Name() string { return "static-ratio" }
+
+func (p *staticRatio) DesiredPrefill(sig RatioSignals) int {
+	if p.n > 0 {
+		return p.n
+	}
+	return sig.Slots / 2
+}
+
+// backlogRatio splits slots proportionally to token backlog.
+type backlogRatio struct{}
+
+// NewBacklogRatio returns the backlog-proportional ratio policy: slots
+// are split in proportion to each pool's token-weighted outstanding work,
+// so a prompt-heavy phase pulls slots into prefill and a decode-heavy
+// tail releases them. It is a deliberately simple heuristic — the pools'
+// service rates differ, so proportional is not optimal — but it moves the
+// ratio in the right direction and is cheap to reason about.
+func NewBacklogRatio() RatioPolicy { return backlogRatio{} }
+
+func (backlogRatio) Name() string { return "backlog-ratio" }
+
+func (backlogRatio) DesiredPrefill(sig RatioSignals) int {
+	tot := sig.PrefillTokens + sig.DecodeTokens
+	if tot <= 0 {
+		return sig.PrefillReplicas
+	}
+	raw := float64(sig.Slots) * float64(sig.PrefillTokens) / float64(tot)
+	return int(math.Round(raw))
+}
+
+// DisaggScaleConfig parameterizes a ratio-scaled disaggregated run.
+type DisaggScaleConfig struct {
+	// Slots is the fixed total replica-slot count (prefill + decode).
+	// Must be >= 2; each slot owns one per-replica environment's GPUs.
+	Slots int
+	// InitialPrefill is how many slots start as prefill replicas.
+	// Defaults to Slots/2 (at least 1). Must stay in [1, Slots-1].
+	InitialPrefill int
+	// Replica configures every replica engine either pool ever runs.
+	Replica Config
+	// Policy decides the prefill-pool size each interval. Defaults to
+	// NewBacklogRatio(). Must be fresh.
+	Policy RatioPolicy
+	// PrefillPolicy routes arrivals over the active prefill pool;
+	// DecodePolicy places finished prefills. Both default to JSQ and must
+	// be fresh instances.
+	PrefillPolicy Policy
+	DecodePolicy  Policy
+	// Interval is the control-loop period (default 15 s); ProvisionDelay
+	// the role-switch reboot time after a conversion drain (default 30 s).
+	Interval       sim.Duration
+	ProvisionDelay sim.Duration
+}
+
+// RatioEvent is one entry of the ratio timeline: a slot transition and
+// the pool composition right after it.
+type RatioEvent struct {
+	TimeNs sim.Time `json:"time_ns"`
+	// Event is the transition: convert (drain begins), reboot (drain
+	// finished, role switch under way), activate (new role admits), abort
+	// (reboot finished into an already-closed pool), retire (end-of-run
+	// drain), close-prefill, close-decode.
+	Event string `json:"event"`
+	// Slot is the slot the transition applies to (-1 for pool closes).
+	Slot int `json:"slot"`
+	// Prefill/Decode count active replicas per pool after the transition;
+	// Converting counts slots mid-conversion.
+	Prefill    int `json:"prefill"`
+	Decode     int `json:"decode"`
+	Converting int `json:"converting,omitempty"`
+}
+
+// RatioScaleResult is the outcome of one ratio-scaled disaggregated run.
+type RatioScaleResult struct {
+	// Policy names the ratio policy; PrefillPolicy/DecodePolicy the
+	// routing and placement policies.
+	Policy        string `json:"policy"`
+	PrefillPolicy string `json:"prefill_policy"`
+	DecodePolicy  string `json:"decode_policy"`
+	// Results holds one Result per replica engine ever booted (slot
+	// conversions boot fresh engines), in boot order; Merged pools them.
+	Results []*Result `json:"results"`
+	Merged  *Result   `json:"merged"`
+	// Fleet is the ratio timeline; Samples the control-loop inputs;
+	// Conversions counts completed slot conversions.
+	Fleet       []RatioEvent   `json:"fleet"`
+	Samples     []RatioSignals `json:"samples,omitempty"`
+	Conversions int            `json:"conversions"`
+	// KV-handoff accounting, as in DisaggResult.
+	Handoffs      int          `json:"handoffs"`
+	HandoffBytes  int64        `json:"handoff_bytes"`
+	HandoffMeanNs sim.Duration `json:"handoff_mean_ns"`
+	HandoffMaxNs  sim.Duration `json:"handoff_max_ns"`
+}
+
+// Summarize aggregates the cluster-level (merged) result under an SLO.
+func (r *RatioScaleResult) Summarize(slo SLO) Summary { return r.Merged.Summarize(slo) }
+
+// ratioSlotState is a slot's lifecycle state in the ratio scaler.
+type ratioSlotState int
+
+const (
+	ratioActive    ratioSlotState = iota // routable in its pool
+	ratioDraining                        // conversion drain in progress
+	ratioRebooting                       // drained; role switch under way
+	ratioDone                            // closed for good
+)
+
+// ratioSlot is one replica slot of a ratio-scaled deployment. The slot
+// (and its KV-fabric group) is permanent; the scheduler behind it is
+// replaced on each role conversion.
+type ratioSlot struct {
+	id     int
+	s      *Scheduler
+	role   role // current scheduler's role
+	target role // role after any in-flight conversion
+	state  ratioSlotState
+	gen    int // boot generation, for unique engine names
+}
+
+// RunAutoscaledDisagg replays the workload against a disaggregated
+// deployment whose prefill:decode split is re-balanced by a control loop:
+// every Interval the loop samples both pools' queue and backlog signals
+// and, when the RatioPolicy wants a different split, converts one slot —
+// drain the shrinking pool's least-loaded replica (its never-admitted
+// requests re-route inside the pool), wait ProvisionDelay, boot the
+// grown pool's replacement on the same slot and fabric group. At most
+// one conversion is in flight at a time, and both pools always keep at
+// least one active replica, so arrivals and handoffs always have a
+// destination. Deterministic and bit-stable like every other driver.
+func RunAutoscaledDisagg(dc DisaggScaleConfig, wl Workload) (*RatioScaleResult, error) {
+	slots := dc.Slots
+	if slots < 2 {
+		return nil, fmt.Errorf("serve: DisaggScaleConfig.Slots = %d (need >= 2)", slots)
+	}
+	initP := dc.InitialPrefill
+	if initP == 0 {
+		initP = slots / 2
+		if initP < 1 {
+			initP = 1
+		}
+	}
+	if initP < 1 || initP > slots-1 {
+		return nil, fmt.Errorf("serve: DisaggScaleConfig.InitialPrefill = %d of %d slots", initP, slots)
+	}
+	pol := dc.Policy
+	if pol == nil {
+		pol = NewBacklogRatio()
+	}
+	ppol := dc.PrefillPolicy
+	if ppol == nil {
+		ppol = NewJSQ()
+	}
+	dpol := dc.DecodePolicy
+	if dpol == nil {
+		dpol = NewJSQ()
+	}
+	interval := dc.Interval
+	if interval == 0 {
+		interval = 15 * sim.Second
+	}
+	delay := dc.ProvisionDelay
+	if delay == 0 {
+		delay = 30 * sim.Second
+	}
+	if interval < 0 || delay < 0 {
+		return nil, fmt.Errorf("serve: DisaggScaleConfig interval=%d provision-delay=%d", interval, delay)
+	}
+	c, admitted, rejected, err := prepare(dc.Replica, wl)
+	if err != nil {
+		return nil, err
+	}
+
+	fabEnv := *c.Env
+	fabEnv.Name = c.Env.Name + "-kv"
+	fabEnv.Nodes = c.Env.Nodes * slots
+	link, err := NewKVLink(&fabEnv, slots)
+	if err != nil {
+		return nil, err
+	}
+	lanes := int64(c.Env.TotalGPUs())
+
+	expect := 0
+	for _, r := range admitted.Requests {
+		if r.OutputLen > 1 {
+			expect++
+		}
+	}
+	delivered := 0
+
+	eng := sim.NewEngine()
+	out := &RatioScaleResult{Policy: pol.Name(), PrefillPolicy: ppol.Name(), DecodePolicy: dpol.Name()}
+	var (
+		slotList     []*ratioSlot
+		preScheds    []*Scheduler
+		decScheds    []*Scheduler
+		decIDs       []int // slot id per decScheds entry (fabric group of a placement)
+		allScheds    []*Scheduler
+		converting   int
+		streamEnded  bool
+		prefillDone  bool // prefill pool closed (end of arrivals)
+		decodeClosed bool
+	)
+	rebuild := func() {
+		preScheds, decScheds, decIDs = preScheds[:0], decScheds[:0], decIDs[:0]
+		for _, sl := range slotList {
+			if sl.state != ratioActive {
+				continue
+			}
+			if sl.role == rolePrefill {
+				preScheds = append(preScheds, sl.s)
+			} else {
+				decScheds = append(decScheds, sl.s)
+				decIDs = append(decIDs, sl.id)
+			}
+		}
+	}
+	record := func(t sim.Time, ev string, id int) {
+		out.Fleet = append(out.Fleet, RatioEvent{TimeNs: t, Event: ev, Slot: id,
+			Prefill: len(preScheds), Decode: len(decScheds), Converting: converting})
+	}
+	closeDecode := func(now sim.Time) {
+		if decodeClosed {
+			return
+		}
+		decodeClosed = true
+		for _, sl := range slotList {
+			if sl.state == ratioActive && sl.role == roleDecode {
+				sl.s.Close()
+			}
+		}
+		record(now, "close-decode", -1)
+	}
+	maybeCloseDecode := func(now sim.Time) {
+		if streamEnded && delivered == expect {
+			closeDecode(now)
+		}
+	}
+
+	var spawnSlot func(sl *ratioSlot, ro role)
+	spawnSlot = func(sl *ratioSlot, ro role) {
+		poolName := "prefill"
+		if ro == roleDecode {
+			poolName = "decode"
+		}
+		s, err := newScheduler(eng, fmt.Sprintf("%s-slot%d-g%d", poolName, sl.id, sl.gen), c, ro)
+		if err != nil {
+			// prepare validated the identical config; this cannot fire.
+			panic(fmt.Sprintf("serve: ratio spawn: %v", err))
+		}
+		s.res.Workload = wl.Name
+		sl.s = s
+		sl.role = ro
+		allScheds = append(allScheds, s)
+		if ro == rolePrefill {
+			src := sl.id
+			s.onPrefilled = func(pr Prefilled, end sim.Time, release func()) {
+				j := dpol.Pick(pr.Req, decScheds)
+				if j < 0 || j >= len(decScheds) {
+					panic(fmt.Sprintf("serve: decode policy %s picked replica %d of %d", dpol.Name(), j, len(decScheds)))
+				}
+				shard := c.Model.KVShardBytes(pr.Req.PromptLen)
+				hEnd := link.Transfer(end, src, decIDs[j], shard)
+				pr.HandoffBytes = shard * lanes
+				pr.HandoffDur = hEnd - end
+				out.Handoffs++
+				out.HandoffBytes += pr.HandoffBytes
+				out.HandoffMeanNs += pr.HandoffDur // sum here; divided after the run
+				if pr.HandoffDur > out.HandoffMaxNs {
+					out.HandoffMaxNs = pr.HandoffDur
+				}
+				pendTok := int64(pr.Req.OutputLen - 1)
+				dst := decScheds[j]
+				dst.reservePending(pendTok)
+				done := pr
+				eng.At(hEnd, func() {
+					release()
+					dst.reservePending(-pendTok)
+					dst.SubmitPrefilled(done)
+					delivered++
+					maybeCloseDecode(eng.Now())
+				})
+			}
+		}
+		s.onRetired = func(at sim.Time) {
+			if sl.state != ratioDraining {
+				// End-of-run drain of a closed pool member.
+				sl.state = ratioDone
+				rebuild()
+				record(at, "retire", sl.id)
+				return
+			}
+			// Conversion drain finished: switch roles after the reboot delay.
+			sl.state = ratioRebooting
+			record(at, "reboot", sl.id)
+			target := sl.target
+			eng.At(at+delay, func() {
+				now := eng.Now()
+				if (target == rolePrefill && prefillDone) || (target == roleDecode && decodeClosed) {
+					// The pool this slot was rebooting into has already
+					// closed; the slot stays down.
+					sl.state = ratioDone
+					converting--
+					record(now, "abort", sl.id)
+					return
+				}
+				sl.gen++
+				spawnSlot(sl, target)
+				sl.state = ratioActive
+				converting--
+				out.Conversions++
+				rebuild()
+				record(now, "activate", sl.id)
+			})
+		}
+	}
+
+	for i := 0; i < slots; i++ {
+		ro := roleDecode
+		if i < initP {
+			ro = rolePrefill
+		}
+		sl := &ratioSlot{id: i, target: ro, state: ratioActive}
+		slotList = append(slotList, sl)
+		spawnSlot(sl, ro)
+	}
+	rebuild()
+
+	convertOne := func(now sim.Time, from role) {
+		var victim *ratioSlot
+		for _, sl := range slotList {
+			if sl.state != ratioActive || sl.role != from {
+				continue
+			}
+			if victim == nil || sl.s.InFlightTokens() < victim.s.InFlightTokens() ||
+				(sl.s.InFlightTokens() == victim.s.InFlightTokens() && sl.id > victim.id) {
+				victim = sl
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if from == rolePrefill {
+			victim.target = roleDecode
+		} else {
+			victim.target = rolePrefill
+		}
+		victim.state = ratioDraining
+		converting++
+		rebuild()
+		handoff := victim.s.Drain()
+		for _, req := range handoff {
+			i := ppol.Pick(req, preScheds)
+			if i < 0 || i >= len(preScheds) {
+				panic(fmt.Sprintf("serve: prefill policy %s picked replica %d of %d", ppol.Name(), i, len(preScheds)))
+			}
+			preScheds[i].Submit(req)
+		}
+		record(now, "convert", victim.id)
+	}
+
+	sample := func(now sim.Time) RatioSignals {
+		sig := RatioSignals{TimeNs: now, Slots: slots, Converting: converting,
+			PrefillReplicas: len(preScheds), DecodeReplicas: len(decScheds)}
+		for _, s := range preScheds {
+			sig.PrefillQueued += s.QueuedRequests()
+			sig.PrefillTokens += s.InFlightTokens()
+		}
+		for _, s := range decScheds {
+			sig.DecodeQueued += s.QueuedRequests()
+			sig.DecodeTokens += s.InFlightTokens()
+		}
+		out.Samples = append(out.Samples, sig)
+		return sig
+	}
+
+	var tick func()
+	tick = func() {
+		if streamEnded {
+			return
+		}
+		now := eng.Now()
+		sig := sample(now)
+		if converting == 0 {
+			desired := clampReplicas(pol.DesiredPrefill(sig), 1, slots-1)
+			curP := 0
+			for _, sl := range slotList {
+				if sl.state != ratioDone && sl.target == rolePrefill {
+					curP++
+				}
+			}
+			if desired > curP {
+				convertOne(now, roleDecode)
+			} else if desired < curP {
+				convertOne(now, rolePrefill)
+			}
+		}
+		eng.At(now+interval, tick)
+	}
+	eng.At(interval, tick)
+
+	var last sim.Time
+	for _, r := range admitted.Requests {
+		req := r
+		eng.At(req.Arrival, func() {
+			i := ppol.Pick(req, preScheds)
+			if i < 0 || i >= len(preScheds) {
+				panic(fmt.Sprintf("serve: prefill policy %s picked replica %d of %d", ppol.Name(), i, len(preScheds)))
+			}
+			preScheds[i].Submit(req)
+		})
+		if req.Arrival > last {
+			last = req.Arrival
+		}
+	}
+	eng.At(last, func() {
+		streamEnded = true
+		prefillDone = true
+		for _, sl := range slotList {
+			if sl.state == ratioActive && sl.role == rolePrefill {
+				sl.s.Close()
+			}
+		}
+		record(eng.Now(), "close-prefill", -1)
+		maybeCloseDecode(eng.Now())
+	})
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if err := checkDrained(allScheds...); err != nil {
+		return nil, err
+	}
+
+	out.Results = make([]*Result, len(allScheds))
+	for i, s := range allScheds {
+		out.Results[i] = s.Result()
+	}
+	parts := append(append([]*Result{}, out.Results...), rejectedPart(c, rejected))
+	out.Merged = MergeResults(parts...)
+	out.Merged.Workload = wl.Name
+	if out.Handoffs > 0 {
+		out.HandoffMeanNs /= sim.Duration(out.Handoffs)
+	}
+	return out, nil
+}

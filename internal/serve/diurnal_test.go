@@ -1,0 +1,114 @@
+package serve
+
+// Property tests for the Diurnal workload generator (previously only
+// exercised end-to-end through serve-planetary): the thinned arrival
+// count must match the rate integral, arrivals must be strictly
+// monotone, the same seed must replay bit-identically, and the
+// troughFrac edge cases must behave as documented (0 panics by design,
+// 1 degenerates to a constant-rate process).
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mscclpp/internal/sim"
+)
+
+// TestDiurnalRateIntegral pins Lewis-Shedler thinning to its target
+// intensity: over the realized span, the integral of the modulated rate
+// must predict the kept-arrival count to within Poisson noise.
+func TestDiurnalRateIntegral(t *testing.T) {
+	const (
+		n      = 20000
+		peak   = 50.0
+		trough = 0.3
+		period = 60 * sim.Second
+	)
+	wl := Diurnal(11, n, peak, trough, period, FixedLen(64), FixedLen(16))
+	if len(wl.Requests) != n {
+		t.Fatalf("generated %d requests, want %d", len(wl.Requests), n)
+	}
+	span := float64(wl.Requests[n-1].Arrival)
+	// Numerically integrate rate(t) = peak * (trough + (1-trough)*(1-cos)/2)
+	// over [0, span] — the same intensity the generator thins against.
+	const steps = 200000
+	dt := span / steps
+	var integral float64
+	for i := 0; i < steps; i++ {
+		tm := (float64(i) + 0.5) * dt
+		phase := 2 * math.Pi * math.Mod(tm, float64(period)) / float64(period)
+		frac := trough + (1-trough)*(1-math.Cos(phase))/2
+		integral += peak * frac * dt / 1e9
+	}
+	// The span ends at the n-th arrival, so E[count over span] = n up to
+	// Poisson fluctuation; allow 5 sigma.
+	if tol := 5 * math.Sqrt(float64(n)); math.Abs(integral-n) > tol {
+		t.Errorf("rate integral over the realized span predicts %.0f arrivals, got %d (tolerance %.0f)",
+			integral, n, tol)
+	}
+}
+
+// TestDiurnalMonotoneArrivals: inter-arrival gaps are strictly positive
+// (the thinning candidates advance by Exp draws and kept arrivals are a
+// subsequence), IDs are sequential, and lengths respect their dists.
+func TestDiurnalMonotoneArrivals(t *testing.T) {
+	wl := Diurnal(7, 5000, 30, 0.25, 30*sim.Second, UniformLen(10, 100), UniformLen(1, 50))
+	for i, r := range wl.Requests {
+		if r.ID != i {
+			t.Fatalf("request %d has ID %d", i, r.ID)
+		}
+		if i > 0 && r.Arrival <= wl.Requests[i-1].Arrival {
+			t.Fatalf("arrival %d (%d ns) not after arrival %d (%d ns)",
+				i, r.Arrival, i-1, wl.Requests[i-1].Arrival)
+		}
+		if r.PromptLen < 10 || r.PromptLen > 100 || r.OutputLen < 1 || r.OutputLen > 50 {
+			t.Fatalf("request %d lengths outside the dists: prompt %d output %d", i, r.PromptLen, r.OutputLen)
+		}
+	}
+}
+
+// TestDiurnalSeedDeterminism: same parameters and seed replay the exact
+// workload; a different seed must not.
+func TestDiurnalSeedDeterminism(t *testing.T) {
+	gen := func(seed uint64) Workload {
+		return Diurnal(seed, 2000, 40, 0.2, 45*sim.Second, LogNormalLen(128, 0.5, 512), UniformLen(1, 64))
+	}
+	a, b := gen(42), gen(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two Diurnal generations with the same seed differ")
+	}
+	if c := gen(43); reflect.DeepEqual(a.Requests, c.Requests) {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+// TestDiurnalTroughFracEdges: troughFrac must lie in (0, 1] — 0 (and
+// anything non-positive, or > 1) panics by design, while exactly 1
+// degenerates to a constant-rate Poisson process at the peak rate.
+func TestDiurnalTroughFracEdges(t *testing.T) {
+	mustPanic := func(name string, frac float64) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Diurnal(troughFrac=%g) did not panic (%s)", frac, name)
+			}
+		}()
+		Diurnal(1, 10, 10, frac, sim.Second, FixedLen(8), FixedLen(8))
+	}
+	mustPanic("zero", 0)
+	mustPanic("negative", -0.5)
+	mustPanic("above one", 1.5)
+
+	// troughFrac = 1: every thinning candidate is kept, so the realized
+	// mean rate is the peak rate up to Poisson noise.
+	const n, peakRate = 20000, 25.0
+	wl := Diurnal(5, n, peakRate, 1, 20*sim.Second, FixedLen(8), FixedLen(8))
+	if len(wl.Requests) != n {
+		t.Fatalf("generated %d requests, want %d", len(wl.Requests), n)
+	}
+	span := float64(wl.Requests[n-1].Arrival) / 1e9
+	mean := float64(n) / span
+	if tol := 5 * peakRate / math.Sqrt(float64(n)); math.Abs(mean-peakRate) > tol {
+		t.Errorf("troughFrac=1 realized %.3f req/s, want the flat peak %.3f (tolerance %.3f)", mean, peakRate, tol)
+	}
+}

@@ -10,6 +10,8 @@ package serve
 import (
 	"math"
 	"testing"
+
+	"mscclpp/internal/sim"
 )
 
 // FuzzRNG: the splitmix64 generator never panics, produces in-range
@@ -47,6 +49,56 @@ func FuzzRNG(f *testing.F) {
 		// Mix64 is a bijection's forward map: zero inputs still avalanche.
 		if Mix64(seed) == Mix64(seed+1) {
 			t.Fatalf("Mix64 collided on adjacent inputs at %d", seed)
+		}
+	})
+}
+
+// FuzzScalePolicy: whatever signal stream an autoscale policy is fed —
+// hostile utilizations and attainments included — the driver-side clamp
+// of its decision never leaves [min, max], and no registered policy
+// panics. This is the fleet-safety contract RunAutoscaled relies on:
+// arbitrary ScaleSignals must never produce a negative or above-max
+// replica count.
+func FuzzScalePolicy(f *testing.F) {
+	f.Add(int64(0), 2, 0, 1, 1, 4, int64(0), 0.5, 0.99, int64(10))
+	f.Add(int64(15_000_000_000), 4, 1, 1, 1, 8, int64(120_000), 1.2, 0.0, int64(0))
+	f.Add(int64(-5), -3, -1, -2, 0, 0, int64(-77), math.Inf(1), math.NaN(), int64(-1))
+	f.Add(int64(1)<<60, 1<<30, 1<<20, 1<<10, 7, 3, int64(1)<<62, -7.5, 123.0, int64(1)<<40)
+	f.Fuzz(func(t *testing.T, timeNs int64, active, prov, draining, min, max int,
+		queued int64, util, att float64, completed int64) {
+		sig := ScaleSignals{
+			TimeNs:         sim.Time(timeNs),
+			Active:         active,
+			Provisioning:   prov,
+			Draining:       draining,
+			Min:            min,
+			Max:            max,
+			QueuedRequests: int(queued),
+			InFlightTokens: queued,
+			Utilization:    util,
+			Attainment:     att,
+			Completed:      completed,
+		}
+		for _, name := range ScalePolicyNames() {
+			pol, err := ScalePolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Feed the same hostile sample repeatedly: stateful controllers
+			// (the PID integral) must stay clamped under accumulation too.
+			for i := 0; i < 8; i++ {
+				got := clampReplicas(pol.Desired(sig), min, max)
+				lo, hi := min, max
+				if lo < 1 {
+					lo = 1
+				}
+				if hi < lo {
+					hi = lo
+				}
+				if got < lo || got > hi {
+					t.Fatalf("%s: clamped decision %d outside [%d, %d] for %+v", name, got, lo, hi, sig)
+				}
+			}
 		}
 	})
 }

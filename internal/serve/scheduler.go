@@ -402,7 +402,14 @@ type Scheduler struct {
 	freeSoon   int   // blocks held by in-flight swap-outs; free when they land
 	seq        int   // submit counter
 	closed     bool
+	draining   bool // Drain was called: no new admissions, retire when drained
 	prefixSeen map[uint64]bool
+
+	// onRetired fires (in engine context) when the replica finishes
+	// draining — Close or Drain was called and the last resident request,
+	// queued resume and in-flight transfer has completed. The autoscaler
+	// (autoscale.go) stamps replica retirement times there. Nil elsewhere.
+	onRetired func(at sim.Time)
 
 	res      *Result
 	stream   *StreamStats // bounded-memory recording; nil under MetricsExact
@@ -501,6 +508,9 @@ func (s *Scheduler) Submit(req Request) {
 	if s.closed {
 		panic(fmt.Sprintf("serve: Submit(request %d) after Close", req.ID))
 	}
+	if s.draining {
+		panic(fmt.Sprintf("serve: Submit(request %d) on a draining replica", req.ID))
+	}
 	if err := s.cfg.checkRequest(req); err != nil {
 		panic(err.Error())
 	}
@@ -583,6 +593,11 @@ func (s *Scheduler) SubmitPrefilled(pr Prefilled) {
 		handoffDur:   pr.HandoffDur,
 	})
 	s.seq++
+	if s.draining && s.pending == 0 {
+		// Drain was deferred while this handoff was on the wire; it was the
+		// last one, so the replica can now stop accepting and run down.
+		s.closed = true
+	}
 	s.notify()
 }
 
@@ -725,6 +740,54 @@ func (s *Scheduler) Close() {
 	s.notify()
 }
 
+// Drain begins graceful retirement of the replica: it stops admitting,
+// removes every request that was never admitted from the waiting queue and
+// returns those requests so the caller can re-route them to surviving
+// replicas (their Arrival timestamps are preserved, so queueing delay is
+// still charged from the original arrival). Residents — running requests,
+// preempted resumes holding or swapping KV, and decode handoffs already
+// accepted — stay and run to completion, after which the replica retires
+// exactly like a closed one (Done becomes true; the onRetired hook fires).
+// A decode replica with KV handoffs still on the wire keeps accepting
+// those specific transfers and closes when the last one lands; new
+// placements must stop at Drain time (Submit panics on a draining
+// replica). Must be called from engine context. Draining an already
+// closed or draining replica panics — that is a driver bug.
+func (s *Scheduler) Drain() []Request {
+	if s.closed || s.draining {
+		panic("serve: Drain on an already closed or draining replica")
+	}
+	s.draining = true
+	var handoff []Request
+	keep := s.waiting[:0]
+	for _, rs := range s.waiting {
+		if rs.admitted {
+			// A resident mid-lifecycle (recompute resume, swap victim, or an
+			// accepted decode handoff): its paid-for work stays here.
+			keep = append(keep, rs)
+			continue
+		}
+		handoff = append(handoff, rs.req)
+		if s.role == rolePrefill {
+			s.inflight -= int64(rs.req.PromptLen)
+		} else {
+			s.inflight -= int64(rs.req.PromptLen + rs.req.OutputLen)
+		}
+	}
+	for i := len(keep); i < len(s.waiting); i++ {
+		s.waiting[i] = nil
+	}
+	s.waiting = keep
+	if s.pending == 0 {
+		s.closed = true
+	}
+	s.notify()
+	return handoff
+}
+
+// Draining reports whether Drain has been called on the replica.
+func (s *Scheduler) Draining() bool { return s.draining }
+
 // InFlightTokens is the replica's outstanding work: prompt + output tokens
 // of every submitted request, minus tokens already processed, plus work
 // already committed to this replica whose KV handoff is still on the wire
@@ -745,6 +808,11 @@ func (s *Scheduler) reservePending(delta int64) { s.pending += delta }
 
 // QueuedRequests is the number of requests waiting for admission.
 func (s *Scheduler) QueuedRequests() int { return len(s.waiting) }
+
+// GPUBusy is the cumulative compute+comm time booked on the replica's
+// observe-only gpu resource so far — the utilization signal the autoscale
+// control loop differences between samples.
+func (s *Scheduler) GPUBusy() sim.Duration { return s.gpu.BusyTime() }
 
 // ActiveRequests is the number of requests resident in the running batch.
 func (s *Scheduler) ActiveRequests() int { return len(s.active) }
@@ -841,6 +909,9 @@ func (s *Scheduler) finish() {
 	s.state = drvDone
 	if s.hasReq {
 		s.res.Makespan = s.lastDone - s.firstArr
+	}
+	if s.onRetired != nil {
+		s.onRetired(s.eng.Now())
 	}
 }
 
